@@ -1,0 +1,57 @@
+//! Micro-benchmark: allocation pressure — cycle cost when every input VC
+//! of a router has a head contending for few outputs (worst case for the
+//! separable batch allocator), measured across arbiter policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_engine::{ArbiterPolicy, EngineConfig, Network, NullSink};
+use df_routing::MechanismSpec;
+use df_topology::{Arrangement, DragonflyParams, NodeId, Topology};
+
+/// Build a single-group-bottleneck hotspot: all nodes of group 0 send to
+/// the same remote group, saturating the one exit link and keeping every
+/// allocator in group 0 busy arbitrating.
+fn hotspot_network(
+    arbiter: ArbiterPolicy,
+) -> Network<Box<dyn df_engine::RoutingPolicy>, NullSink> {
+    let params = DragonflyParams::small();
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    let cfg = EngineConfig::paper(arbiter, 3);
+    let policy = MechanismSpec::Min.build(topo.clone(), &cfg, 5);
+    let mut net = Network::new(topo, cfg, policy, NullSink);
+    let per_group = params.a * params.p;
+    for round in 0..40u32 {
+        for n in 0..per_group {
+            let dst = per_group + (n + round) % per_group; // group 0 → group 1
+            net.offer(NodeId(n), NodeId(dst));
+        }
+        net.step();
+    }
+    net
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    for (arbiter, name) in [
+        (ArbiterPolicy::RoundRobin, "round_robin"),
+        (ArbiterPolicy::TransitPriority, "transit_priority"),
+        (ArbiterPolicy::AgeBased, "age_based"),
+    ] {
+        group.bench_with_input(BenchmarkId::new("hotspot_cycle", name), &arbiter, |b, &arb| {
+            let mut net = hotspot_network(arb);
+            let params = *net.topology().params();
+            let per_group = params.a * params.p;
+            let mut round = 0u32;
+            b.iter(|| {
+                round = round.wrapping_add(1);
+                for n in 0..per_group {
+                    net.offer(NodeId(n), NodeId(per_group + (n + round) % per_group));
+                }
+                net.step()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end benchmark: a short but complete warm-up + measurement
+//! simulation per routing mechanism under ADVc — the unit of work every
+//! figure harness repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_core::prelude::*;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for mechanism in [
+        MechanismSpec::Min,
+        MechanismSpec::ObliviousRrg,
+        MechanismSpec::SourceCrg,
+        MechanismSpec::InTransitMm,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("advc_0.3", mechanism.label()),
+            &mechanism,
+            |b, &m| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::small(
+                        m,
+                        ArbiterPolicy::TransitPriority,
+                        PatternSpec::AdvConsecutive { spread: None },
+                        0.3,
+                    );
+                    cfg.params = DragonflyParams::figure1();
+                    cfg.warmup_cycles = 500;
+                    cfg.measure_cycles = 1_000;
+                    run_single(&cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

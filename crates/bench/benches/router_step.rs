@@ -1,0 +1,59 @@
+//! Micro-benchmark: full-network cycle cost at idle and under load
+//! (the simulator's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use df_engine::{ArbiterPolicy, EngineConfig, Network, NullSink};
+use df_routing::MechanismSpec;
+use df_topology::{Arrangement, DragonflyParams, NodeId, Topology};
+
+fn loaded_network(
+    params: DragonflyParams,
+    load_rounds: u32,
+) -> Network<Box<dyn df_engine::RoutingPolicy>, NullSink> {
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
+    let policy = MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
+    let mut net = Network::new(topo, cfg, policy, NullSink);
+    for round in 0..load_rounds {
+        for n in 0..params.nodes() {
+            let dst = (n + round * 37 + params.a * params.p) % params.nodes();
+            net.offer(NodeId(n), NodeId(dst));
+        }
+        net.step();
+    }
+    net
+}
+
+fn bench_step(c: &mut Criterion) {
+    let small = DragonflyParams::small();
+
+    c.bench_function("engine/cycle_idle_342_nodes", |b| {
+        let mut net = loaded_network(small, 0);
+        b.iter(|| net.step())
+    });
+
+    c.bench_function("engine/cycle_loaded_342_nodes", |b| {
+        let mut net = loaded_network(small, 20);
+        b.iter(|| {
+            // Keep the network loaded while measuring.
+            for n in (0..small.nodes()).step_by(9) {
+                net.offer(NodeId(n), NodeId((n + 60) % small.nodes()));
+            }
+            net.step()
+        })
+    });
+
+    c.bench_function("engine/cycle_loaded_5256_nodes", |b| {
+        let paper = DragonflyParams::paper();
+        let mut net = loaded_network(paper, 5);
+        b.iter(|| {
+            for n in (0..paper.nodes()).step_by(17) {
+                net.offer(NodeId(n), NodeId((n + 433) % paper.nodes()));
+            }
+            net.step()
+        })
+    });
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-benchmarks: topology construction and wiring queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use df_topology::{Arrangement, DragonflyParams, GroupId, NodeId, Topology};
+
+fn bench_topology(c: &mut Criterion) {
+    let params = DragonflyParams::paper();
+
+    c.bench_function("topology/build_paper_scale", |b| {
+        b.iter(|| Topology::new(black_box(params), Arrangement::Palmtree))
+    });
+
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    c.bench_function("topology/exit_to_group", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = (k + 1) % 72;
+            topo.exit_to_group(GroupId(0), GroupId(k + 1))
+        })
+    });
+
+    c.bench_function("topology/global_peer", |b| {
+        let mut r = 0u32;
+        b.iter(|| {
+            r = (r + 1) % params.routers();
+            topo.global_peer(df_topology::RouterId(r), r % params.h)
+        })
+    });
+
+    c.bench_function("topology/min_path_links", |b| {
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 709) % params.nodes();
+            topo.min_path_links(NodeId(n), NodeId((n * 13 + 7) % params.nodes()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks: traffic-pattern destination generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use df_topology::{DragonflyParams, NodeId};
+use df_traffic::{AdvConsecutive, Adversarial, BernoulliInjector, Traffic, Uniform};
+
+fn bench_traffic(c: &mut Criterion) {
+    let params = DragonflyParams::paper();
+
+    c.bench_function("traffic/uniform_dest", |b| {
+        let mut t = Uniform::new(params, 1);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % params.nodes();
+            black_box(t.dest(NodeId(n)))
+        })
+    });
+
+    c.bench_function("traffic/adv1_dest", |b| {
+        let mut t = Adversarial::new(params, 1, 2);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % params.nodes();
+            black_box(t.dest(NodeId(n)))
+        })
+    });
+
+    c.bench_function("traffic/advc_dest", |b| {
+        let mut t = AdvConsecutive::new(params, 3);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % params.nodes();
+            black_box(t.dest(NodeId(n)))
+        })
+    });
+
+    c.bench_function("traffic/bernoulli_fire", |b| {
+        let mut inj = BernoulliInjector::new(0.4, 8, 4);
+        b.iter(|| black_box(inj.fire()))
+    });
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Extension A: age-based arbitration — the explicit fairness mechanism
+//! the paper names as future work (Abts & Weisser, SC'07). Compares
+//! fairness under ADVc @ 0.4 for the in-transit mechanisms across the
+//! three arbiter policies: transit priority, plain round-robin, and
+//! age-based.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin ablation_age
+//! ```
+
+use df_bench::{write_json, CommonArgs};
+use dragonfly_core::prelude::*;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    mechanism: String,
+    arbiter: String,
+    min_inj: f64,
+    max_min: f64,
+    cov: f64,
+    throughput: f64,
+    avg_latency: f64,
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    args.pattern = PatternSpec::AdvConsecutive { spread: None };
+    let load = 0.4;
+
+    println!(
+        "Ablation — arbiter policy vs fairness, ADVc @ {load} ({} scale, {} seeds)",
+        if args.paper_scale { "paper" } else { "reduced" },
+        args.seeds.len(),
+    );
+
+    let arbiters = [
+        (ArbiterPolicy::TransitPriority, "transit-prio"),
+        (ArbiterPolicy::RoundRobin, "round-robin"),
+        (ArbiterPolicy::AgeBased, "age-based"),
+    ];
+    let mechanisms = [
+        MechanismSpec::InTransitRrg,
+        MechanismSpec::InTransitCrg,
+        MechanismSpec::InTransitMm,
+    ];
+
+    let cells: Vec<(MechanismSpec, ArbiterPolicy, &str)> = mechanisms
+        .iter()
+        .flat_map(|&m| arbiters.iter().map(move |&(a, l)| (m, a, l)))
+        .collect();
+    let rows: Vec<AblationRow> = cells
+        .par_iter()
+        .map(|&(m, arb, arb_label)| {
+            let mut local = args.clone();
+            local.arbiter = arb;
+            let avg = run_averaged(&local.base_config(m, load), &local.seeds);
+            eprintln!("done: {} / {}", m.label(), arb_label);
+            AblationRow {
+                mechanism: m.label().to_string(),
+                arbiter: arb_label.to_string(),
+                min_inj: avg.fairness.min,
+                max_min: avg.fairness.max_min_ratio,
+                cov: avg.fairness.cov,
+                throughput: avg.throughput,
+                avg_latency: avg.avg_latency,
+            }
+        })
+        .collect();
+
+    println!(
+        "\n{:>12} {:>13} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "mechanism", "arbiter", "Min inj", "Max/Min", "CoV", "thr", "latency"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>13} {:>10.2} {:>10.3} {:>8.4} {:>10.4} {:>10.1}",
+            r.mechanism, r.arbiter, r.min_inj, r.max_min, r.cov, r.throughput, r.avg_latency
+        );
+    }
+
+    if let Some(out) = &args.out {
+        write_json(out, &rows);
+    }
+}

@@ -1,0 +1,89 @@
+//! Extension B: global-link arrangement ablation. ADVc's total
+//! minimal/non-minimal overlap at a single bottleneck router is a
+//! property of the palmtree arrangement; this harness measures how the
+//! consecutive and random arrangements change the fairness picture under
+//! the same traffic.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin ablation_arrangement
+//! ```
+
+use df_bench::{write_json, CommonArgs};
+use dragonfly_core::prelude::*;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ArrangementRow {
+    arrangement: String,
+    mechanism: String,
+    total_overlap_groups: u32,
+    min_inj: f64,
+    max_min: f64,
+    cov: f64,
+    throughput: f64,
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    args.pattern = PatternSpec::AdvConsecutive { spread: None };
+    let load = 0.4;
+
+    let arrangements = [
+        (Arrangement::Palmtree, "palmtree"),
+        (Arrangement::Consecutive, "consecutive"),
+        (Arrangement::Random { seed: 12345 }, "random"),
+    ];
+    let mechanisms = [MechanismSpec::InTransitMm, MechanismSpec::ObliviousRrg];
+
+    println!(
+        "Ablation — arrangement vs ADVc fairness @ {load}, {} ({} scale)",
+        args.priority_label(),
+        if args.paper_scale { "paper" } else { "reduced" },
+    );
+
+    let cells: Vec<((Arrangement, &str), MechanismSpec)> = arrangements
+        .iter()
+        .flat_map(|&arr| mechanisms.iter().map(move |&m| (arr, m)))
+        .collect();
+    let rows: Vec<ArrangementRow> = cells
+        .par_iter()
+        .map(|&((arr, arr_label), m)| {
+            let mut cfg = args.base_config(m, load);
+            cfg.arrangement = arr;
+            // How many groups route all h consecutive destinations through
+            // one router under this arrangement?
+            let topo = Topology::new(cfg.params, arr);
+            let overlap = (0..cfg.params.groups())
+                .filter(|&g| topo.advc_overlap_is_total(GroupId(g)))
+                .count() as u32;
+            let avg = run_averaged(&cfg, &args.seeds);
+            eprintln!("done: {arr_label} / {}", m.label());
+            ArrangementRow {
+                arrangement: arr_label.to_string(),
+                mechanism: m.label().to_string(),
+                total_overlap_groups: overlap,
+                min_inj: avg.fairness.min,
+                max_min: avg.fairness.max_min_ratio,
+                cov: avg.fairness.cov,
+                throughput: avg.throughput,
+            }
+        })
+        .collect();
+
+    println!(
+        "\n{:>12} {:>12} {:>9} {:>10} {:>10} {:>8} {:>10}",
+        "arrangement", "mechanism", "overlap", "Min inj", "Max/Min", "CoV", "thr"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>12} {:>9} {:>10.2} {:>10.3} {:>8.4} {:>10.4}",
+            r.arrangement, r.mechanism, r.total_overlap_groups, r.min_inj, r.max_min, r.cov,
+            r.throughput
+        );
+    }
+
+    if let Some(out) = &args.out {
+        write_json(out, &rows);
+    }
+}

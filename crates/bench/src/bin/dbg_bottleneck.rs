@@ -1,0 +1,77 @@
+//! Diagnostic: watch the ADVc bottleneck router's global-port congestion
+//! and injection progress over time (not a paper figure).
+
+use dragonfly_core::prelude::*;
+use dragonfly_core::df_engine::RouterState;
+
+fn main() {
+    let mech = match std::env::args().nth(1).as_deref() {
+        Some("crg") => MechanismSpec::InTransitCrg,
+        Some("rrg") => MechanismSpec::InTransitRrg,
+        _ => MechanismSpec::InTransitMm,
+    };
+    let cfg = SimConfig::small(
+        mech,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::AdvConsecutive { spread: None },
+        0.4,
+    );
+    let mut sim = Simulator::new(&cfg);
+    let params = cfg.params;
+    let a = params.a;
+    let bottleneck = (a - 1) as usize; // router 5 of group 0
+    println!("mech={} bottleneck=R{bottleneck}", mech.label());
+    for t in 0..30 {
+        for _ in 0..1000 {
+            sim.step();
+        }
+        let net = sim.network();
+        let counters = net.counters();
+        let inj_b = counters.injected_per_router[bottleneck];
+        let inj_others: u64 = counters.injected_per_router[..a as usize]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != bottleneck)
+            .map(|(_, &c)| c)
+            .sum();
+        let r: &RouterState = net.router(RouterId(bottleneck as u32));
+        // classify waiting heads: input kind x decided-output kind
+        let mut transit_to_global = 0;
+        let mut transit_to_local = 0;
+        let mut inj_to_global = 0;
+        let mut inj_waiting = 0;
+        use dragonfly_core::df_topology::{PortKind, PortLayout};
+        for q in 0..params.radix() {
+            let kind_in = params.port_kind(Port(q));
+            let vcs = match kind_in { PortKind::Injection => 3, PortKind::Local => 3, PortKind::Global => 2 };
+            for v in 0..vcs {
+                if let Some(pk) = r.head(Port(q), v) {
+                    if let Some(d) = pk.decision {
+                        let kout = params.port_kind(d.out_port);
+                        match (kind_in, kout) {
+                            (PortKind::Injection, PortKind::Global) => inj_to_global += 1,
+                            (PortKind::Injection, _) => inj_waiting += 1,
+                            (_, PortKind::Global) => transit_to_global += 1,
+                            (_, PortKind::Local) => transit_to_local += 1,
+                            _ => {}
+                        }
+                    } else { if kind_in == PortKind::Injection { inj_waiting += 1; } }
+                }
+            }
+        }
+        let occs: Vec<String> = (0..params.h)
+            .map(|j| {
+                let port = Port(params.p + params.a - 1 + j);
+                format!("{:.2}", r.output_congestion(port))
+            })
+            .collect();
+        println!(
+            "t={:>6} inj_R{bottleneck}={inj_b:>7} inj_mean_others={:>9.1} thr={:.4} in_flight={:>6} gocc={:?} t2g={transit_to_global} t2l={transit_to_local} i2g={inj_to_global} iw={inj_waiting}",
+            (t + 1) * 1000,
+            inj_others as f64 / (a - 1) as f64,
+            counters.throughput(params.nodes()),
+            net.in_flight(),
+            occs,
+        );
+    }
+}

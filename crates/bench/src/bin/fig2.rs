@@ -1,0 +1,47 @@
+//! Figure 2 (and Figure 5 with `--priority none`): average packet latency
+//! and accepted load vs offered load for every routing mechanism, under
+//! UN / ADV+1 / ADVc traffic.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin fig2 -- --pattern advc --priority transit
+//! cargo run --release -p df-bench --bin fig2 -- --pattern un --priority none --quick
+//! ```
+
+use df_bench::{print_sweep, write_json, CommonArgs};
+use dragonfly_core::prelude::*;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let loads = args.load_grid();
+
+    // The paper plots MIN as the reference under UN and the oblivious
+    // non-minimal mechanisms under adversarial patterns; we always include
+    // MIN plus the seven-mechanism set.
+    let mechanisms: Vec<MechanismSpec> = std::iter::once(MechanismSpec::Min)
+        .chain(MechanismSpec::PAPER_SET)
+        .collect();
+
+    println!(
+        "Figure 2/5 — {} traffic, {} ({} scale, {} seeds)",
+        args.pattern.label(),
+        args.priority_label(),
+        if args.paper_scale { "paper" } else { "reduced" },
+        args.seeds.len(),
+    );
+
+    let mut labels = Vec::new();
+    let mut sweeps = Vec::new();
+    for m in &mechanisms {
+        let base = args.base_config(*m, 0.0);
+        let sweep = sweep_loads(&base, &loads, &args.seeds);
+        eprintln!("done: {}", m.label());
+        labels.push(m.label());
+        sweeps.push(sweep);
+    }
+
+    print_sweep(&labels, &sweeps);
+
+    if let Some(out) = &args.out {
+        write_json(out, &sweeps);
+    }
+}

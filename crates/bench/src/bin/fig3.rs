@@ -1,0 +1,44 @@
+//! Figure 3: breakdown of the latency components for in-transit adaptive
+//! routing with the MM global misrouting policy under ADVc traffic.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin fig3
+//! ```
+
+use df_bench::{write_json, CommonArgs};
+use dragonfly_core::prelude::*;
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    // Figure 3 is defined for ADVc; the pattern flag is ignored here.
+    args.pattern = PatternSpec::AdvConsecutive { spread: None };
+
+    // The paper's grid starts at 0.01 and then steps by 0.05.
+    let mut loads = vec![0.01];
+    loads.extend(args.load_grid());
+
+    println!(
+        "Figure 3 — latency breakdown, In-Trns-MM, ADVc, {} ({} scale)",
+        args.priority_label(),
+        if args.paper_scale { "paper" } else { "reduced" },
+    );
+
+    let base = args.base_config(MechanismSpec::InTransitMm, 0.0);
+    let sweep = sweep_loads(&base, &loads, &args.seeds);
+
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "load", "base", "misroute", "local_q", "global_q", "inject_q", "total"
+    );
+    for pt in &sweep {
+        let [base_c, mis, lq, gq, inj] = pt.components;
+        println!(
+            "{:>6.2} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            pt.load, base_c, mis, lq, gq, inj, pt.avg_latency
+        );
+    }
+
+    if let Some(out) = &args.out {
+        write_json(out, &sweep);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 4 (and Figure 6 with `--priority none`): number of injected
+//! packets per router in a group of the Dragonfly network under ADVc
+//! traffic at 0.4 phits/(node·cycle).
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin fig4 -- --priority transit
+//! cargo run --release -p df-bench --bin fig4 -- --priority none
+//! ```
+
+use df_bench::{write_json, CommonArgs};
+use dragonfly_core::prelude::*;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Row {
+    mechanism: String,
+    /// Injections of every router of group 0 (R0..R{a-1}).
+    group0: Vec<f64>,
+    /// Injections averaged per within-group router index over all groups.
+    per_index_mean: Vec<f64>,
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    args.pattern = PatternSpec::AdvConsecutive { spread: None };
+    let load = 0.4;
+
+    println!(
+        "Figure 4/6 — injected packets per router (group 0), ADVc @ {load}, {} ({} scale)",
+        args.priority_label(),
+        if args.paper_scale { "paper" } else { "reduced" },
+    );
+
+    let rows: Vec<Fig4Row> = MechanismSpec::PAPER_SET
+        .par_iter()
+        .map(|&m| {
+            let cfg = args.base_config(m, load);
+            let avg = run_averaged(&cfg, &args.seeds);
+            let a = avg.injected_per_router.len() / cfg.params.groups() as usize;
+            let group0 = avg.injected_per_router[..a].to_vec();
+            let groups = avg.injected_per_router.len() / a;
+            let mut per_index = vec![0.0; a];
+            for g in 0..groups {
+                for (i, acc) in per_index.iter_mut().enumerate() {
+                    *acc += avg.injected_per_router[g * a + i];
+                }
+            }
+            per_index.iter_mut().for_each(|v| *v /= groups as f64);
+            eprintln!("done: {}", m.label());
+            Fig4Row { mechanism: m.label().to_string(), group0, per_index_mean: per_index }
+        })
+        .collect();
+
+    let a = rows[0].group0.len();
+    print!("\n{:>12}", "mechanism");
+    for i in 0..a {
+        print!("{:>9}", format!("R{i}"));
+    }
+    println!("   (group 0; bottleneck is R{} under palmtree)", a - 1);
+    for row in &rows {
+        print!("{:>12}", row.mechanism);
+        for v in &row.group0 {
+            print!("{v:>9.0}");
+        }
+        println!();
+    }
+
+    print!("\n{:>12}", "mechanism");
+    for i in 0..a {
+        print!("{:>9}", format!("R{i}"));
+    }
+    println!("   (mean over all groups, per router index)");
+    for row in &rows {
+        print!("{:>12}", row.mechanism);
+        for v in &row.per_index_mean {
+            print!("{v:>9.1}");
+        }
+        println!();
+    }
+
+    if let Some(out) = &args.out {
+        write_json(out, &rows);
+    }
+}

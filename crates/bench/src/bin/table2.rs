@@ -1,0 +1,67 @@
+//! Table II (and Table III with `--priority none`): fairness metrics —
+//! minimum injections per router, max/min ratio, and coefficient of
+//! variation — under ADVc traffic at 0.4 phits/(node·cycle).
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin table2 -- --priority transit
+//! cargo run --release -p df-bench --bin table2 -- --priority none
+//! ```
+
+use df_bench::{write_json, CommonArgs};
+use dragonfly_core::prelude::*;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TableRow {
+    mechanism: String,
+    min_inj: f64,
+    max_min: f64,
+    cov: f64,
+    jain: f64,
+    throughput: f64,
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    args.pattern = PatternSpec::AdvConsecutive { spread: None };
+    let load = 0.4;
+
+    println!(
+        "Table II/III — fairness metrics, ADVc @ {load}, {} ({} scale, {} seeds)",
+        args.priority_label(),
+        if args.paper_scale { "paper" } else { "reduced" },
+        args.seeds.len(),
+    );
+
+    let rows: Vec<TableRow> = MechanismSpec::PAPER_SET
+        .par_iter()
+        .map(|&m| {
+            let avg = run_averaged(&args.base_config(m, load), &args.seeds);
+            eprintln!("done: {}", m.label());
+            TableRow {
+                mechanism: m.label().to_string(),
+                min_inj: avg.fairness.min,
+                max_min: avg.fairness.max_min_ratio,
+                cov: avg.fairness.cov,
+                jain: avg.fairness.jain,
+                throughput: avg.throughput,
+            }
+        })
+        .collect();
+
+    println!(
+        "\n{:>12} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "mechanism", "Min inj", "Max/Min", "CoV", "Jain", "thr(phit)"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>10.2} {:>10.3} {:>8.4} {:>8.4} {:>10.4}",
+            r.mechanism, r.min_inj, r.max_min, r.cov, r.jain, r.throughput
+        );
+    }
+
+    if let Some(out) = &args.out {
+        write_json(out, &rows);
+    }
+}

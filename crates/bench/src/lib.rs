@@ -1,0 +1,199 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same core flags:
+//!
+//! * `--paper-scale` — run the full 5,256-node network of Table I
+//!   (slow; default is the reduced h=3, 342-node network whose bottleneck
+//!   structure is identical),
+//! * `--priority transit|none|age` — output-arbiter policy,
+//! * `--pattern un|adv1|advc` — traffic pattern (where applicable),
+//! * `--quick` — single seed, coarser load grid (smoke runs),
+//! * `--seeds N` — number of averaged seeds (default 3, as in the paper),
+//! * `--out PATH` — also dump the raw results as JSON.
+
+use dragonfly_core::prelude::*;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Full-scale (h=6) network instead of the reduced default.
+    pub paper_scale: bool,
+    /// Arbiter policy selected via `--priority`.
+    pub arbiter: ArbiterPolicy,
+    /// Pattern selected via `--pattern` (default ADVc).
+    pub pattern: PatternSpec,
+    /// Single-seed, coarse-grid smoke mode.
+    pub quick: bool,
+    /// Seeds to average.
+    pub seeds: Vec<u64>,
+    /// Optional JSON output path.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            paper_scale: false,
+            arbiter: ArbiterPolicy::TransitPriority,
+            pattern: PatternSpec::AdvConsecutive { spread: None },
+            quick: false,
+            seeds: DEFAULT_SEEDS.to_vec(),
+            out: None,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parse `std::env::args`, exiting with a message on unknown flags.
+    pub fn parse() -> Self {
+        let mut args = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--paper-scale" => args.paper_scale = true,
+                "--quick" => {
+                    args.quick = true;
+                    args.seeds = vec![DEFAULT_SEEDS[0]];
+                }
+                "--priority" => {
+                    let v = it.next().unwrap_or_default();
+                    args.arbiter = match v.as_str() {
+                        "transit" => ArbiterPolicy::TransitPriority,
+                        "none" => ArbiterPolicy::RoundRobin,
+                        "age" => ArbiterPolicy::AgeBased,
+                        other => die(&format!("unknown --priority {other}")),
+                    };
+                }
+                "--pattern" => {
+                    let v = it.next().unwrap_or_default();
+                    args.pattern = match v.as_str() {
+                        "un" => PatternSpec::Uniform,
+                        "adv1" => PatternSpec::Adversarial { offset: 1 },
+                        "advc" => PatternSpec::AdvConsecutive { spread: None },
+                        other => die(&format!("unknown --pattern {other}")),
+                    };
+                }
+                "--seeds" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seeds needs a number"));
+                    args.seeds = (0..n as u64).map(|i| DEFAULT_SEEDS[0] + i * 31).collect();
+                }
+                "--out" => {
+                    args.out = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| die("--out needs a path")),
+                    ));
+                }
+                other => die(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// Base configuration for this harness.
+    pub fn base_config(&self, mechanism: MechanismSpec, load: f64) -> SimConfig {
+        if self.paper_scale {
+            SimConfig::paper(mechanism, self.arbiter, self.pattern.clone(), load)
+        } else {
+            SimConfig::small(mechanism, self.arbiter, self.pattern.clone(), load)
+        }
+    }
+
+    /// Load grid: the standard 20-point grid, or 6 points in quick mode.
+    pub fn load_grid(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.1, 0.2, 0.3, 0.4, 0.6, 0.8]
+        } else {
+            standard_load_grid()
+        }
+    }
+
+    /// Human-readable description of the arbiter for headers.
+    pub fn priority_label(&self) -> &'static str {
+        match self.arbiter {
+            ArbiterPolicy::TransitPriority => "transit-over-injection priority",
+            ArbiterPolicy::RoundRobin => "no transit priority (round-robin)",
+            ArbiterPolicy::AgeBased => "age-based arbitration",
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Write any serializable value as pretty JSON.
+pub fn write_json<T: Serialize>(path: &PathBuf, value: &T) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(path, json).expect("write results");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Print a latency/throughput sweep as two aligned text tables, mirroring
+/// the paper's paired plots.
+pub fn print_sweep(mechanism_labels: &[&str], sweeps: &[Vec<AveragedResult>]) {
+    assert_eq!(mechanism_labels.len(), sweeps.len());
+    println!("\n== Average packet latency (cycles) vs offered load ==");
+    print!("{:>6}", "load");
+    for m in mechanism_labels {
+        print!("{m:>13}");
+    }
+    println!();
+    let points = sweeps[0].len();
+    for i in 0..points {
+        print!("{:>6.2}", sweeps[0][i].load);
+        for s in sweeps {
+            print!("{:>13.1}", s[i].avg_latency);
+        }
+        println!();
+    }
+    println!("\n== Accepted load (phits/node/cycle) vs offered load ==");
+    print!("{:>6}", "load");
+    for m in mechanism_labels {
+        print!("{m:>13}");
+    }
+    println!();
+    for i in 0..points {
+        print!("{:>6.2}", sweeps[0][i].load);
+        for s in sweeps {
+            print!("{:>13.4}", s[i].throughput);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_mirror_paper_protocol() {
+        let a = CommonArgs::default();
+        assert_eq!(a.seeds.len(), 3);
+        assert_eq!(a.arbiter, ArbiterPolicy::TransitPriority);
+        assert!(matches!(a.pattern, PatternSpec::AdvConsecutive { spread: None }));
+    }
+
+    #[test]
+    fn base_config_scales() {
+        let mut a = CommonArgs::default();
+        let small = a.base_config(MechanismSpec::Min, 0.4);
+        assert_eq!(small.params.nodes(), 342);
+        a.paper_scale = true;
+        let full = a.base_config(MechanismSpec::Min, 0.4);
+        assert_eq!(full.params.nodes(), 5256);
+    }
+
+    #[test]
+    fn quick_grid_is_subset() {
+        let a = CommonArgs { quick: true, ..CommonArgs::default() };
+        assert!(a.load_grid().len() < standard_load_grid().len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Top-level simulation configuration.
+
+use df_engine::{ArbiterPolicy, EngineConfig};
+use df_routing::MechanismSpec;
+use df_topology::{Arrangement, DragonflyParams};
+use df_traffic::PatternSpec;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to run one simulation: topology, mechanism, arbiter,
+/// traffic, load, and the measurement protocol (§IV-A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Dragonfly sizing.
+    pub params: DragonflyParams,
+    /// Global-link arrangement (the paper uses palmtree).
+    pub arrangement: Arrangement,
+    /// Routing mechanism under test.
+    pub mechanism: MechanismSpec,
+    /// Output-arbiter policy (transit priority on/off, or age-based).
+    pub arbiter: ArbiterPolicy,
+    /// Traffic pattern.
+    pub pattern: PatternSpec,
+    /// Offered load in phits/(node·cycle).
+    pub load: f64,
+    /// Warm-up cycles before statistics are tracked.
+    pub warmup_cycles: u64,
+    /// Measurement window in cycles (the paper uses 15,000).
+    pub measure_cycles: u64,
+    /// Master seed; traffic, injection, and routing RNGs are derived
+    /// deterministically from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's setup: full-scale network (h=6, 5,256 nodes), palmtree,
+    /// 15,000-cycle measurement window after a 10,000-cycle warm-up.
+    pub fn paper(
+        mechanism: MechanismSpec,
+        arbiter: ArbiterPolicy,
+        pattern: PatternSpec,
+        load: f64,
+    ) -> Self {
+        Self {
+            params: DragonflyParams::paper(),
+            arrangement: Arrangement::Palmtree,
+            mechanism,
+            arbiter,
+            pattern,
+            load,
+            warmup_cycles: 10_000,
+            measure_cycles: 15_000,
+            seed: 1,
+        }
+    }
+
+    /// Reduced-scale setup (h=3, 342 nodes) with the same protocol —
+    /// the default for examples and CI-speed experiment runs.
+    pub fn small(
+        mechanism: MechanismSpec,
+        arbiter: ArbiterPolicy,
+        pattern: PatternSpec,
+        load: f64,
+    ) -> Self {
+        Self {
+            params: DragonflyParams::small(),
+            arrangement: Arrangement::Palmtree,
+            mechanism,
+            arbiter,
+            pattern,
+            load,
+            warmup_cycles: 8_000,
+            measure_cycles: 15_000,
+            seed: 1,
+        }
+    }
+
+    /// The engine configuration implied by mechanism and arbiter: Table I
+    /// parameters with the mechanism's required local-VC count.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper(self.arbiter, self.mechanism.required_local_vcs())
+    }
+
+    /// With a different master seed (multi-run averaging).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        Self { seed, ..self.clone() }
+    }
+
+    /// With a different offered load (sweeps).
+    pub fn with_load(&self, load: f64) -> Self {
+        Self { load, ..self.clone() }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=self.engine_config().packet_size as f64).contains(&self.load) {
+            return Err(format!("load {} out of range", self.load));
+        }
+        if self.measure_cycles == 0 {
+            return Err("measurement window must be nonzero".into());
+        }
+        self.engine_config().validate()
+    }
+}
+
+/// Derive sub-seeds from a master seed (splitmix64 steps) so each RNG
+/// consumer gets an independent stream.
+pub(crate) fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::small(
+            MechanismSpec::InTransitMm,
+            ArbiterPolicy::TransitPriority,
+            PatternSpec::AdvConsecutive { spread: None },
+            0.4,
+        )
+    }
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = SimConfig::paper(
+            MechanismSpec::ObliviousRrg,
+            ArbiterPolicy::TransitPriority,
+            PatternSpec::Uniform,
+            0.5,
+        );
+        assert_eq!(c.params.nodes(), 5256);
+        assert_eq!(c.measure_cycles, 15_000);
+        let ec = c.engine_config();
+        assert_eq!(ec.vcs_local, 4); // oblivious Valiant needs 4
+        assert_eq!(ec.packet_size, 8);
+        assert_eq!(ec.global_link_latency, 100);
+    }
+
+    #[test]
+    fn in_transit_uses_three_local_vcs() {
+        assert_eq!(cfg().engine_config().vcs_local, 3);
+    }
+
+    #[test]
+    fn validation_rejects_absurd_load() {
+        let mut c = cfg();
+        c.load = 9.5;
+        assert!(c.validate().is_err());
+        c.load = 0.4;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn seed_derivation_distinct_streams() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(1, 0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = cfg();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.load, c.load);
+        assert_eq!(back.mechanism, c.mechanism);
+    }
+}

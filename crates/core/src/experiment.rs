@@ -1,0 +1,171 @@
+//! Multi-seed averaging and parallel load sweeps — the building blocks of
+//! every figure and table harness.
+
+use crate::config::SimConfig;
+use crate::sim::{run_single, RunResult};
+use df_stats::FairnessReport;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Seed set mirroring the paper's "average of 3 different simulations".
+pub const DEFAULT_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Averaged result across seeds for one (mechanism, pattern, load) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AveragedResult {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Pattern label.
+    pub pattern: String,
+    /// Configured offered load in phits/(node·cycle).
+    pub load: f64,
+    /// Number of seeds averaged.
+    pub runs: usize,
+    /// Mean accepted throughput.
+    pub throughput: f64,
+    /// Mean end-to-end latency (cycles).
+    pub avg_latency: f64,
+    /// Mean latency components `[base, misroute, local_q, global_q,
+    /// injection_q]`.
+    pub components: [f64; 5],
+    /// Per-router injections, averaged element-wise across seeds — this is
+    /// exactly how the paper obtains fractional "Min inj" values like
+    /// 69.33 in Table II.
+    pub injected_per_router: Vec<f64>,
+    /// Fairness metrics over the averaged counts.
+    pub fairness: FairnessReport,
+}
+
+impl AveragedResult {
+    /// Average individual runs (all must share mechanism/pattern/load).
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_runs(runs: &[RunResult]) -> Self {
+        assert!(!runs.is_empty(), "cannot average zero runs");
+        let n = runs.len() as f64;
+        let routers = runs[0].injected_per_router.len();
+        let mut injected = vec![0.0; routers];
+        let mut components = [0.0; 5];
+        let mut throughput = 0.0;
+        let mut latency = 0.0;
+        for r in runs {
+            debug_assert_eq!(r.injected_per_router.len(), routers);
+            throughput += r.throughput;
+            latency += r.avg_latency;
+            for (acc, c) in components.iter_mut().zip(r.components) {
+                *acc += c;
+            }
+            for (acc, &c) in injected.iter_mut().zip(&r.injected_per_router) {
+                *acc += c as f64;
+            }
+        }
+        throughput /= n;
+        latency /= n;
+        components.iter_mut().for_each(|c| *c /= n);
+        injected.iter_mut().for_each(|c| *c /= n);
+        let fairness = FairnessReport::from_counts(&injected);
+        Self {
+            mechanism: runs[0].mechanism.clone(),
+            pattern: runs[0].pattern.clone(),
+            load: runs[0].load,
+            runs: runs.len(),
+            throughput,
+            avg_latency: latency,
+            components,
+            injected_per_router: injected,
+            fairness,
+        }
+    }
+}
+
+/// Run `cfg` under each seed (in parallel) and average.
+pub fn run_averaged(cfg: &SimConfig, seeds: &[u64]) -> AveragedResult {
+    let runs: Vec<RunResult> =
+        seeds.par_iter().map(|&s| run_single(&cfg.with_seed(s))).collect();
+    AveragedResult::from_runs(&runs)
+}
+
+/// Sweep offered loads (each load × seed simulated in parallel).
+pub fn sweep_loads(base: &SimConfig, loads: &[f64], seeds: &[u64]) -> Vec<AveragedResult> {
+    let cells: Vec<(usize, u64)> = loads
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let runs: Vec<(usize, RunResult)> = cells
+        .par_iter()
+        .map(|&(i, s)| (i, run_single(&base.with_load(loads[i]).with_seed(s))))
+        .collect();
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let cell: Vec<RunResult> =
+                runs.iter().filter(|(j, _)| *j == i).map(|(_, r)| r.clone()).collect();
+            AveragedResult::from_runs(&cell)
+        })
+        .collect()
+}
+
+/// The standard load grid used by the figure harnesses (0.05 … 1.0).
+pub fn standard_load_grid() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_engine::ArbiterPolicy;
+    use df_routing::MechanismSpec;
+    use df_topology::DragonflyParams;
+    use df_traffic::PatternSpec;
+
+    fn tiny() -> SimConfig {
+        let mut cfg = SimConfig::small(
+            MechanismSpec::Min,
+            ArbiterPolicy::RoundRobin,
+            PatternSpec::Uniform,
+            0.2,
+        );
+        cfg.params = DragonflyParams::figure1();
+        cfg.warmup_cycles = 1_000;
+        cfg.measure_cycles = 2_000;
+        cfg
+    }
+
+    #[test]
+    fn averaging_reduces_to_identity_for_one_run() {
+        let r = run_single(&tiny());
+        let avg = AveragedResult::from_runs(std::slice::from_ref(&r));
+        assert_eq!(avg.throughput, r.throughput);
+        assert_eq!(avg.runs, 1);
+    }
+
+    #[test]
+    fn averaged_result_over_three_seeds() {
+        let avg = run_averaged(&tiny(), &[1, 2, 3]);
+        assert_eq!(avg.runs, 3);
+        assert!(avg.throughput > 0.1);
+        // Averaged counts can be fractional, like the paper's Table II.
+        assert!(avg.injected_per_router.iter().any(|c| c.fract() != 0.0));
+    }
+
+    #[test]
+    fn sweep_produces_point_per_load() {
+        let loads = [0.1, 0.2];
+        let pts = sweep_loads(&tiny(), &loads, &[1, 2]);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].load, 0.1);
+        assert_eq!(pts[1].load, 0.2);
+        assert!(pts[1].throughput > pts[0].throughput);
+    }
+
+    #[test]
+    fn standard_grid_spans_unit_interval() {
+        let g = standard_load_grid();
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[19] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Input virtual-channel buffers and per-port output buffers.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// One virtual-channel FIFO of an input port.
+///
+/// Capacity is in phits; a packet occupies its full size from the moment
+/// the upstream sender reserves space (credit decrement) until it is
+/// granted to an output buffer here. The occupancy counter is advanced on
+/// physical arrival; the *free-space authority* is the upstream credit
+/// counter, so `occupancy <= capacity` always holds.
+#[derive(Debug)]
+pub struct VcBuffer {
+    queue: VecDeque<Box<Packet>>,
+    occupancy: u32,
+    capacity: u32,
+}
+
+impl VcBuffer {
+    /// Empty buffer with `capacity` phits.
+    pub fn new(capacity: u32) -> Self {
+        Self { queue: VecDeque::new(), occupancy: 0, capacity }
+    }
+
+    /// Enqueue an arriving packet.
+    ///
+    /// # Panics
+    /// Panics if the packet overflows the buffer — that would mean the
+    /// upstream credit accounting is broken, which is a simulator bug.
+    pub fn push(&mut self, pkt: Box<Packet>) {
+        self.occupancy += pkt.header.size;
+        assert!(
+            self.occupancy <= self.capacity,
+            "VC buffer overflow: {}/{} phits — credit accounting violated",
+            self.occupancy,
+            self.capacity
+        );
+        self.queue.push_back(pkt);
+    }
+
+    /// The head packet, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Packet> {
+        self.queue.front().map(|b| &**b)
+    }
+
+    /// Mutable head packet, if any.
+    #[inline]
+    pub fn front_mut(&mut self) -> Option<&mut Packet> {
+        self.queue.front_mut().map(|b| &mut **b)
+    }
+
+    /// Remove and return the head packet.
+    pub fn pop(&mut self) -> Option<Box<Packet>> {
+        let pkt = self.queue.pop_front()?;
+        self.occupancy -= pkt.header.size;
+        Some(pkt)
+    }
+
+    /// Occupied phits (resident packets only).
+    #[inline]
+    pub fn occupancy(&self) -> u32 {
+        self.occupancy
+    }
+
+    /// Capacity in phits.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of resident packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no packet is resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A packet staged at an output port together with its downstream VC.
+#[derive(Debug)]
+pub struct Staged {
+    /// The packet.
+    pub pkt: Box<Packet>,
+    /// Downstream input VC (credit was reserved at grant time).
+    pub out_vc: u8,
+}
+
+/// Per-port output buffer: a FIFO of packets whose downstream space is
+/// already reserved, draining onto the link at one phit per cycle.
+#[derive(Debug)]
+pub struct OutputBuffer {
+    queue: VecDeque<Staged>,
+    /// Occupied phits, *including* a packet currently serializing onto the
+    /// link (space is freed when its tail leaves).
+    occupancy: u32,
+    capacity: u32,
+    /// The link accepts a new packet when `cycle >= link_free_at`.
+    pub link_free_at: u64,
+}
+
+impl OutputBuffer {
+    /// Empty buffer with `capacity` phits.
+    pub fn new(capacity: u32) -> Self {
+        Self { queue: VecDeque::new(), occupancy: 0, capacity, link_free_at: 0 }
+    }
+
+    /// Free space in phits.
+    #[inline]
+    pub fn free(&self) -> u32 {
+        self.capacity - self.occupancy
+    }
+
+    /// Occupied phits.
+    #[inline]
+    pub fn occupancy(&self) -> u32 {
+        self.occupancy
+    }
+
+    /// Capacity in phits.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Reserve space and enqueue a granted packet.
+    ///
+    /// # Panics
+    /// Panics on overflow — the allocator must check [`Self::free`] first.
+    pub fn push(&mut self, staged: Staged) {
+        self.occupancy += staged.pkt.header.size;
+        assert!(
+            self.occupancy <= self.capacity,
+            "output buffer overflow: {}/{}",
+            self.occupancy,
+            self.capacity
+        );
+        self.queue.push_back(staged);
+    }
+
+    /// Head packet waiting for the link.
+    #[inline]
+    pub fn front(&self) -> Option<&Staged> {
+        self.queue.front()
+    }
+
+    /// Dequeue the head for transmission. Space is *not* freed here; call
+    /// [`Self::release`] when the tail has left the port.
+    pub fn pop_for_tx(&mut self) -> Option<Staged> {
+        self.queue.pop_front()
+    }
+
+    /// Free the space of a packet whose tail has been transmitted.
+    pub fn release(&mut self, size: u32) {
+        debug_assert!(self.occupancy >= size);
+        self.occupancy -= size;
+    }
+
+    /// Number of staged packets (excluding any already popped for tx).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no packet is staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_topology::{GroupId, NodeId};
+
+    fn pkt(id: u64, size: u32) -> Box<Packet> {
+        Box::new(Packet::new(id, NodeId(0), NodeId(1), size, 0, GroupId(0)))
+    }
+
+    #[test]
+    fn vc_fifo_order_and_occupancy() {
+        let mut vc = VcBuffer::new(32);
+        vc.push(pkt(1, 8));
+        vc.push(pkt(2, 8));
+        assert_eq!(vc.occupancy(), 16);
+        assert_eq!(vc.len(), 2);
+        assert_eq!(vc.pop().unwrap().header.id, 1);
+        assert_eq!(vc.occupancy(), 8);
+        assert_eq!(vc.front().unwrap().header.id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn vc_overflow_is_a_bug() {
+        let mut vc = VcBuffer::new(16);
+        vc.push(pkt(1, 8));
+        vc.push(pkt(2, 8));
+        vc.push(pkt(3, 8));
+    }
+
+    #[test]
+    fn output_buffer_space_freed_on_release_only() {
+        let mut ob = OutputBuffer::new(32);
+        ob.push(Staged { pkt: pkt(1, 8), out_vc: 0 });
+        assert_eq!(ob.free(), 24);
+        let staged = ob.pop_for_tx().unwrap();
+        // Space still held while serializing.
+        assert_eq!(ob.free(), 24);
+        ob.release(staged.pkt.header.size);
+        assert_eq!(ob.free(), 32);
+    }
+
+    #[test]
+    fn output_buffer_holds_exactly_capacity() {
+        let mut ob = OutputBuffer::new(32);
+        for i in 0..4 {
+            ob.push(Staged { pkt: pkt(i, 8), out_vc: 0 });
+        }
+        assert_eq!(ob.free(), 0);
+        assert_eq!(ob.len(), 4);
+    }
+}

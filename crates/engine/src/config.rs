@@ -1,0 +1,159 @@
+//! Engine configuration: the router/link micro-architecture parameters of
+//! the paper's Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Output-arbiter policy of the separable allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbiterPolicy {
+    /// Plain round-robin among all requesters (paper §V-C, "without
+    /// transit-over-injection priority").
+    RoundRobin,
+    /// Transit requests always beat injection requests; round-robin within
+    /// each class (paper §V-A/B, "similar to Blue Gene systems").
+    TransitPriority,
+    /// Oldest packet (smallest generation cycle) wins. This is the *age
+    /// arbitration* explicit-fairness mechanism (Abts & Weisser, SC'07)
+    /// that the paper names as future work; we implement it as the main
+    /// extension.
+    AgeBased,
+}
+
+/// Micro-architecture and flow-control parameters.
+///
+/// Defaults mirror the paper's Table I; [`EngineConfig::paper`] is the
+/// canonical constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Packet size in phits (Table I: 8).
+    pub packet_size: u32,
+    /// Router pipeline latency in cycles (Table I: 5).
+    pub pipeline_latency: u64,
+    /// Internal speedup: maximum grants per port per cycle (Table I: 2×).
+    pub speedup: u32,
+    /// Local (intra-group) link latency in cycles (Table I: 10).
+    pub local_link_latency: u64,
+    /// Global (inter-group) link latency in cycles (Table I: 100).
+    pub global_link_latency: u64,
+    /// Node-to-router and router-to-node link latency in cycles.
+    pub injection_link_latency: u64,
+    /// Input buffer capacity per VC at local ports, in phits (Table I: 32).
+    pub local_input_buffer: u32,
+    /// Input buffer capacity per VC at global ports, in phits (Table I: 256).
+    pub global_input_buffer: u32,
+    /// Input buffer capacity per VC at injection ports, in phits.
+    pub injection_input_buffer: u32,
+    /// Output buffer capacity per port, in phits (Table I: 32).
+    pub output_buffer: u32,
+    /// Virtual channels at injection ports (Table I: 3).
+    pub vcs_injection: u8,
+    /// Virtual channels at local ports (Table I: 3 for in-transit adaptive,
+    /// 4 for oblivious / source-adaptive Valiant paths).
+    pub vcs_local: u8,
+    /// Virtual channels at global ports (Table I: 2).
+    pub vcs_global: u8,
+    /// Output-arbiter policy.
+    pub arbiter: ArbiterPolicy,
+    /// Bound on each node's source queue, in packets. Generation into a
+    /// full queue is discarded (still counted as offered load), keeping
+    /// memory bounded far beyond saturation.
+    pub max_node_queue: usize,
+}
+
+impl EngineConfig {
+    /// Table I parameters with the given arbiter policy and the number of
+    /// local VCs required by the routing mechanism in use (3 for in-transit
+    /// adaptive, 4 for oblivious and source-adaptive).
+    pub fn paper(arbiter: ArbiterPolicy, vcs_local: u8) -> Self {
+        Self {
+            packet_size: 8,
+            pipeline_latency: 5,
+            speedup: 2,
+            local_link_latency: 10,
+            global_link_latency: 100,
+            injection_link_latency: 1,
+            local_input_buffer: 32,
+            global_input_buffer: 256,
+            injection_input_buffer: 32,
+            output_buffer: 32,
+            vcs_injection: 3,
+            vcs_local,
+            vcs_global: 2,
+            arbiter,
+            max_node_queue: 64,
+        }
+    }
+
+    /// Validate internal consistency (buffers hold at least one packet,
+    /// at least one VC everywhere).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.packet_size == 0 {
+            return Err("packet_size must be nonzero".into());
+        }
+        for (name, cap) in [
+            ("local_input_buffer", self.local_input_buffer),
+            ("global_input_buffer", self.global_input_buffer),
+            ("injection_input_buffer", self.injection_input_buffer),
+            ("output_buffer", self.output_buffer),
+        ] {
+            if cap < self.packet_size {
+                return Err(format!(
+                    "{name} ({cap} phits) cannot hold one {}-phit packet",
+                    self.packet_size
+                ));
+            }
+        }
+        if self.vcs_injection == 0 || self.vcs_local == 0 || self.vcs_global == 0 {
+            return Err("every port class needs at least one VC".into());
+        }
+        if self.speedup == 0 {
+            return Err("speedup must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Longest event horizon needed by the wheel: the slowest link plus
+    /// serialization, plus slack.
+    pub(crate) fn max_event_delay(&self) -> u64 {
+        self.global_link_latency
+            .max(self.local_link_latency)
+            .max(self.injection_link_latency)
+            + self.packet_size as u64
+            + 2
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper(ArbiterPolicy::TransitPriority, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        assert!(EngineConfig::paper(ArbiterPolicy::RoundRobin, 3).validate().is_ok());
+        assert!(EngineConfig::paper(ArbiterPolicy::TransitPriority, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn undersized_buffer_rejected() {
+        let c = EngineConfig { output_buffer: 4, ..EngineConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_vcs_rejected() {
+        let c = EngineConfig { vcs_global: 0, ..EngineConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn event_horizon_covers_global_link() {
+        let c = EngineConfig::default();
+        assert!(c.max_event_delay() >= 108);
+    }
+}

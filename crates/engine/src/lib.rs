@@ -1,0 +1,38 @@
+//! # df-engine
+//!
+//! Cycle-driven network-simulation substrate for the Dragonfly unfairness
+//! reproduction (Fuentes et al., CLUSTER 2015). The engine models:
+//!
+//! * **packets** of `packet_size` phits under virtual cut-through,
+//! * **input-output buffered routers** with a 5-cycle pipeline, virtual
+//!   channels, and an **iterative separable batch allocator** running at
+//!   2× internal speedup,
+//! * **credit-based flow control** across pipelined links (10-cycle local,
+//!   100-cycle global),
+//! * pluggable **output arbitration**: round-robin, transit-over-injection
+//!   priority, or age-based (the explicit fairness mechanism),
+//! * pluggable **routing policies** (implemented in `df-routing`) and
+//!   **stats sinks** (aggregated in `df-stats`).
+//!
+//! The per-packet latency accounting preserves the identity
+//! `latency == traversal + waits.total()`, which the test-suite checks and
+//! which yields the paper's Figure 3 breakdown directly.
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod config;
+mod events;
+mod network;
+mod packet;
+mod policy;
+mod router;
+
+pub use buffer::{OutputBuffer, Staged, VcBuffer};
+pub use config::{ArbiterPolicy, EngineConfig};
+pub use network::{Counters, Network};
+pub use packet::{
+    Decision, DeliveredRecord, Packet, PacketHeader, PacketId, Phase, RouteInfo, WaitBreakdown,
+};
+pub use policy::{NullSink, RoutingPolicy, StatsSink};
+pub use router::{input_capacity_for, vcs_for, RouterState};

@@ -1,0 +1,903 @@
+//! The assembled network: nodes, routers, links, and the per-cycle
+//! simulation loop (event delivery → injection → allocation → output).
+
+use crate::buffer::Staged;
+use crate::config::{ArbiterPolicy, EngineConfig};
+use crate::events::{Event, EventWheel};
+use crate::packet::{DeliveredRecord, Packet, PacketId};
+use crate::policy::{RoutingPolicy, StatsSink};
+use crate::router::RouterState;
+use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, Topology};
+use std::collections::VecDeque;
+
+/// Source-side state of a compute node.
+#[derive(Debug)]
+struct NodeState {
+    /// Generated packets waiting to enter the router (bounded).
+    queue: VecDeque<Box<Packet>>,
+    /// Credits towards the router's injection-port input buffer, per VC.
+    credits: Vec<u32>,
+    /// Round-robin pointer over injection VCs.
+    vc_rr: u32,
+    /// The node→router link is serializing until this cycle.
+    link_free_at: u64,
+}
+
+/// Aggregate counters maintained by the engine (cheap, always on).
+/// Fine-grained per-packet data flows through the [`StatsSink`].
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    /// Generation attempts, including those dropped at a full source queue.
+    pub offered_packets: u64,
+    /// Packets accepted into a source queue.
+    pub accepted_packets: u64,
+    /// Packets delivered to their destination node.
+    pub delivered_packets: u64,
+    /// Phits delivered (for throughput in phits/node/cycle).
+    pub delivered_phits: u64,
+    /// Packets injected per router: granted from an injection-port input
+    /// buffer into an output buffer. This is the paper's fairness signal.
+    pub injected_per_router: Vec<u64>,
+    /// Cycles elapsed since the last counter reset.
+    pub cycles: u64,
+}
+
+impl Counters {
+    fn new(routers: usize) -> Self {
+        Self { injected_per_router: vec![0; routers], ..Self::default() }
+    }
+
+    /// Delivered throughput in phits per node per cycle.
+    pub fn throughput(&self, nodes: u32) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delivered_phits as f64 / (nodes as f64 * self.cycles as f64)
+    }
+}
+
+/// A full network simulation instance.
+pub struct Network<P: RoutingPolicy, S: StatsSink> {
+    topo: Topology,
+    cfg: EngineConfig,
+    routers: Vec<RouterState>,
+    nodes: Vec<NodeState>,
+    wheel: EventWheel,
+    cycle: u64,
+    next_packet_id: PacketId,
+    policy: P,
+    sink: S,
+    counters: Counters,
+    /// Packets accepted but not yet delivered.
+    live_packets: u64,
+    /// Wiring cache: target of every (router, port), row-major.
+    peers: Vec<PortTarget>,
+    /// Latency of the link behind every (router, port).
+    latencies: Vec<u64>,
+    /// Allocation scratch: proposals per output port.
+    proposals: Vec<Vec<(u32, u8)>>,
+    /// Delivery cycle of the most recent grant anywhere (livelock guard).
+    last_progress: u64,
+}
+
+impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
+    /// Build an idle network.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails validation.
+    pub fn new(topo: Topology, cfg: EngineConfig, policy: P, sink: S) -> Self {
+        cfg.validate().expect("invalid engine config");
+        let params = *topo.params();
+        let radix = params.radix();
+        let routers: Vec<RouterState> = topo
+            .routers()
+            .map(|r| RouterState::new(r, &params, &cfg))
+            .collect();
+        let nodes = (0..params.nodes())
+            .map(|_| NodeState {
+                queue: VecDeque::new(),
+                credits: vec![cfg.injection_input_buffer; cfg.vcs_injection as usize],
+                vc_rr: 0,
+                link_free_at: 0,
+            })
+            .collect();
+        let mut peers = Vec::with_capacity((params.routers() * radix) as usize);
+        let mut latencies = Vec::with_capacity(peers.capacity());
+        for r in topo.routers() {
+            for q in 0..radix {
+                let port = Port(q);
+                peers.push(topo.port_target(r, port));
+                latencies.push(match params.port_kind(port) {
+                    PortKind::Injection => cfg.injection_link_latency,
+                    PortKind::Local => cfg.local_link_latency,
+                    PortKind::Global => cfg.global_link_latency,
+                });
+            }
+        }
+        let wheel = EventWheel::new(cfg.max_event_delay());
+        let n_routers = routers.len();
+        Self {
+            topo,
+            cfg,
+            routers,
+            nodes,
+            wheel,
+            cycle: 0,
+            next_packet_id: 0,
+            policy,
+            sink,
+            counters: Counters::new(n_routers),
+            live_packets: 0,
+            peers,
+            latencies,
+            proposals: (0..radix).map(|_| Vec::new()).collect(),
+            last_progress: 0,
+        }
+    }
+
+    /// Current simulation cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The engine configuration.
+    #[inline]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Engine counters since the last [`Self::reset_counters`].
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The stats sink (for result extraction).
+    #[inline]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the sink (e.g. to reset it after warm-up).
+    #[inline]
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// The routing policy.
+    #[inline]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Packets accepted but not yet delivered.
+    #[inline]
+    pub fn in_flight(&self) -> u64 {
+        self.live_packets
+    }
+
+    /// Events (packets and credits) currently traversing links.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.wheel.pending()
+    }
+
+    /// Read access to a router's state (congestion probes, diagnostics).
+    #[inline]
+    pub fn router(&self, id: df_topology::RouterId) -> &RouterState {
+        &self.routers[id.idx()]
+    }
+
+    /// Zero the measurement counters (start of the measurement window).
+    pub fn reset_counters(&mut self) {
+        let n = self.routers.len();
+        self.counters = Counters::new(n);
+    }
+
+    /// Offer a packet for generation at `src` towards `dst`. Returns
+    /// `false` (and drops it) if the source queue is full — the offer is
+    /// still counted as offered load.
+    pub fn offer(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.counters.offered_packets += 1;
+        let node = &mut self.nodes[src.idx()];
+        if node.queue.len() >= self.cfg.max_node_queue {
+            return false;
+        }
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let group = src.group(self.topo.params());
+        // The earliest the node can act on this packet is the next cycle,
+        // so that is its generation timestamp.
+        let gen = self.cycle + 1;
+        let pkt = Box::new(Packet::new(id, src, dst, self.cfg.packet_size, gen, group));
+        node.queue.push_back(pkt);
+        self.counters.accepted_packets += 1;
+        self.live_packets += 1;
+        true
+    }
+
+    /// Advance the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.counters.cycles += 1;
+        self.deliver_events();
+        self.policy.begin_cycle(&self.routers, self.cycle);
+        self.inject_from_nodes();
+        for r in 0..self.routers.len() {
+            self.allocate_router(r);
+        }
+        for r in 0..self.routers.len() {
+            self.transmit_outputs(r);
+        }
+    }
+
+    /// Run `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run until every accepted packet has been delivered, up to `max`
+    /// extra cycles. Returns `true` if the network drained.
+    pub fn drain(&mut self, max: u64) -> bool {
+        for _ in 0..max {
+            if self.live_packets == 0 {
+                return true;
+            }
+            self.step();
+        }
+        self.live_packets == 0
+    }
+
+    /// Cycles since any packet anywhere won switch allocation. Large
+    /// values while traffic is in flight indicate deadlock/livelock.
+    pub fn cycles_since_progress(&self) -> u64 {
+        self.cycle - self.last_progress
+    }
+
+    /// Diagnostic: dump every blocked input-VC head (eligible but not
+    /// granted) with the resources it waits for. For debugging hangs.
+    pub fn dump_blocked(&self, max_lines: usize) {
+        let params = self.topo.params();
+        let mut lines = 0;
+        for (r, router) in self.routers.iter().enumerate() {
+            for (q, vcs) in router.inputs.iter().enumerate() {
+                for (v, buf) in vcs.iter().enumerate() {
+                    if let Some(p) = buf.front() {
+                        if p.eligible_at > self.cycle {
+                            continue;
+                        }
+                        let dec = p.decision;
+                        let (free, cred) = match dec {
+                            Some(d) => (
+                                router.outputs[d.out_port.idx()].free(),
+                                router
+                                    .credits[d.out_port.idx()]
+                                    .get(d.out_vc as usize)
+                                    .copied()
+                                    .unwrap_or(u32::MAX),
+                            ),
+                            None => (0, 0),
+                        };
+                        eprintln!(
+                            "r{r} in(port={q},vc={v},kind={:?}) pkt{} src={} dst={} lh={} gh={} phase={:?} dec={:?} out_free={free} out_cred={cred}",
+                            params.port_kind(Port(q as u32)),
+                            p.header.id, p.header.src.0, p.header.dst.0,
+                            p.route.local_hops, p.route.global_hops, p.route.phase,
+                            dec.map(|d| (d.out_port.0, d.out_vc)),
+                        );
+                        lines += 1;
+                        if lines >= max_lines {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle phases
+    // ------------------------------------------------------------------
+
+    fn deliver_events(&mut self) {
+        let mut events = self.wheel.advance();
+        debug_assert_eq!(self.wheel.now(), self.cycle);
+        for ev in events.drain(..) {
+            match ev {
+                Event::ArriveRouter { router, port, vc, mut pkt } => {
+                    pkt.eligible_at = self.cycle + self.cfg.pipeline_latency;
+                    pkt.decision = None;
+                    self.routers[router.idx()].inputs[port.idx()][vc as usize].push(pkt);
+                }
+                Event::ArriveNode { node, pkt } => {
+                    self.complete_delivery(node, pkt);
+                }
+                Event::Credit { router, port, vc, phits } => {
+                    let c = &mut self.routers[router.idx()].credits[port.idx()][vc as usize];
+                    *c += phits;
+                    debug_assert!(
+                        *c <= self.routers[router.idx()].credit_caps[port.idx()][vc as usize]
+                    );
+                }
+                Event::NodeCredit { node, vc, phits } => {
+                    let c = &mut self.nodes[node.idx()].credits[vc as usize];
+                    *c += phits;
+                    debug_assert!(*c <= self.cfg.injection_input_buffer);
+                }
+            }
+        }
+        self.wheel.recycle(events);
+    }
+
+    #[allow(clippy::boxed_local)] // the packet arrives boxed from the event wheel
+    fn complete_delivery(&mut self, node: NodeId, pkt: Box<Packet>) {
+        debug_assert_eq!(pkt.header.dst, node);
+        let params = self.topo.params();
+        let (min_l, min_g) = self.topo.min_path_links(pkt.header.src, pkt.header.dst);
+        let min_routers = (min_l + min_g + 1) as u64;
+        let min_traversal = self.cfg.injection_link_latency          // node → router
+            + min_routers * self.cfg.pipeline_latency                 // router pipelines
+            + min_l as u64 * self.cfg.local_link_latency
+            + min_g as u64 * self.cfg.global_link_latency
+            + self.cfg.injection_link_latency                         // router → node
+            + self.cfg.packet_size as u64;                            // serialization
+        let _ = params;
+        let rec = DeliveredRecord {
+            header: pkt.header,
+            delivered_cycle: self.cycle,
+            traversal: pkt.traversal,
+            min_traversal,
+            waits: pkt.waits,
+            local_hops: pkt.route.local_hops,
+            global_hops: pkt.route.global_hops,
+        };
+        self.counters.delivered_packets += 1;
+        self.counters.delivered_phits += pkt.header.size as u64;
+        self.live_packets -= 1;
+        self.sink.on_delivered(&rec);
+    }
+
+    fn inject_from_nodes(&mut self) {
+        let params = *self.topo.params();
+        for n in 0..self.nodes.len() {
+            let node = &mut self.nodes[n];
+            if node.link_free_at > self.cycle || node.queue.is_empty() {
+                continue;
+            }
+            let size = self.cfg.packet_size;
+            // Pick an injection VC with room, round-robin for fairness.
+            let vcs = self.cfg.vcs_injection as u32;
+            let mut chosen = None;
+            for k in 0..vcs {
+                let vc = (node.vc_rr + k) % vcs;
+                if node.credits[vc as usize] >= size {
+                    chosen = Some(vc);
+                    break;
+                }
+            }
+            let Some(vc) = chosen else { continue };
+            node.vc_rr = (vc + 1) % vcs;
+            node.credits[vc as usize] -= size;
+            node.link_free_at = self.cycle + size as u64;
+            let mut pkt = node.queue.pop_front().expect("checked non-empty");
+            // Source-queue time is injection wait.
+            pkt.waits.injection += self.cycle - pkt.eligible_at;
+            pkt.traversal += self.cfg.injection_link_latency;
+            let node_id = NodeId(n as u32);
+            let router = node_id.router(&params);
+            let port = params.injection_port(node_id.slot(&params));
+            self.wheel.schedule(
+                self.cfg.injection_link_latency,
+                Event::ArriveRouter { router, port, vc: vc as u8, pkt },
+            );
+        }
+    }
+
+    /// Separable iterative batch allocation for router `r`.
+    fn allocate_router(&mut self, r: usize) {
+        let params = *self.topo.params();
+        let radix = params.radix() as usize;
+        let adaptive = self.policy.adaptive_reroute();
+        // Remaining grant budget per port this cycle (2× speedup).
+        let mut in_budget = vec![self.cfg.speedup; radix];
+        let mut out_budget = vec![self.cfg.speedup; radix];
+        // VCs that already won this cycle cannot win again (their new head
+        // has not traversed the pipeline).
+        let mut vc_granted = vec![false; radix * 8];
+
+        for _iter in 0..self.cfg.speedup {
+            // --- Phase 1: each input port nominates one VC head. ---
+            for q in 0..radix {
+                self.proposals[q].clear();
+            }
+            for in_port in 0..radix {
+                if in_budget[in_port] == 0 {
+                    continue;
+                }
+                let vcs = self.routers[r].inputs[in_port].len() as u32;
+                let start = self.routers[r].in_rr[in_port];
+                let mut nominated = None;
+                for k in 0..vcs {
+                    let vc = ((start + k) % vcs) as usize;
+                    if vc_granted[in_port * 8 + vc] {
+                        continue;
+                    }
+                    // Decide routing for the head if needed.
+                    let need_route = {
+                        match self.routers[r].inputs[in_port][vc].front() {
+                            Some(p) if p.eligible_at <= self.cycle => {
+                                p.decision.is_none() || adaptive
+                            }
+                            _ => false,
+                        }
+                    };
+                    if need_route {
+                        let (hdr, info) = {
+                            let p = self.routers[r].inputs[in_port][vc]
+                                .front()
+                                .expect("head checked");
+                            (p.header, p.route)
+                        };
+                        let decision = self.policy.route(
+                            &self.routers[r],
+                            Port(in_port as u32),
+                            &hdr,
+                            info,
+                        );
+                        debug_assert!((decision.out_port.0 as usize) < radix);
+                        self.routers[r].inputs[in_port][vc]
+                            .front_mut()
+                            .expect("head checked")
+                            .decision = Some(decision);
+                    }
+                    let feasible = {
+                        match self.routers[r].inputs[in_port][vc].front() {
+                            Some(p) if p.eligible_at <= self.cycle => match p.decision {
+                                Some(d) => self.routers[r].can_accept(
+                                    d.out_port,
+                                    d.out_vc,
+                                    p.header.size,
+                                ),
+                                None => false,
+                            },
+                            _ => false,
+                        }
+                    };
+                    if feasible {
+                        nominated = Some(vc);
+                        break;
+                    }
+                }
+                if let Some(vc) = nominated {
+                    let out = self.routers[r].inputs[in_port][vc]
+                        .front()
+                        .and_then(|p| p.decision)
+                        .expect("nominated head has decision")
+                        .out_port;
+                    if out_budget[out.idx()] > 0 {
+                        self.proposals[out.idx()].push((in_port as u32, vc as u8));
+                    }
+                }
+            }
+
+            // --- Phase 2: each output port grants one proposal. ---
+            let mut any = false;
+            #[allow(clippy::needless_range_loop)] // index drives three parallel arrays
+            for out_port in 0..radix {
+                if self.proposals[out_port].is_empty() || out_budget[out_port] == 0 {
+                    continue;
+                }
+                let winner = self.arbitrate_output(r, out_port);
+                let Some((in_port, vc)) = winner else { continue };
+                self.commit_grant(r, in_port as usize, vc as usize, out_port);
+                in_budget[in_port as usize] -= 1;
+                out_budget[out_port] -= 1;
+                vc_granted[in_port as usize * 8 + vc as usize] = true;
+                // Advance the input port's RR pointer past the winner.
+                let vcs = self.routers[r].inputs[in_port as usize].len() as u32;
+                self.routers[r].in_rr[in_port as usize] = (vc as u32 + 1) % vcs;
+                any = true;
+            }
+            if any {
+                self.last_progress = self.cycle;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Pick the winning proposal for `out_port` under the configured
+    /// arbiter policy. Proposals were pre-filtered for feasibility, but
+    /// feasibility is re-checked at commit time by the caller via
+    /// `can_accept` (earlier grants in this cycle may have consumed space).
+    fn arbitrate_output(&mut self, r: usize, out_port: usize) -> Option<(u32, u8)> {
+        let props = &self.proposals[out_port];
+        let router = &self.routers[r];
+        let still_feasible = |&(ip, vc): &(u32, u8)| -> bool {
+            match router.inputs[ip as usize][vc as usize].front() {
+                Some(p) => match p.decision {
+                    Some(d) => router.can_accept(d.out_port, d.out_vc, p.header.size),
+                    None => false,
+                },
+                None => false,
+            }
+        };
+        let params = self.topo.params();
+        let rr = router.out_rr[out_port];
+        let radix = params.radix();
+        let key_rr = |ip: u32| (ip + radix - rr) % radix;
+        let pick = match self.cfg.arbiter {
+            ArbiterPolicy::RoundRobin => props
+                .iter()
+                .filter(|p| still_feasible(p))
+                .min_by_key(|&&(ip, _)| key_rr(ip))
+                .copied(),
+            ArbiterPolicy::TransitPriority => {
+                let class = |ip: u32| match params.port_kind(Port(ip)) {
+                    PortKind::Injection => 1u32,
+                    _ => 0u32,
+                };
+                props
+                    .iter()
+                    .filter(|p| still_feasible(p))
+                    .min_by_key(|&&(ip, _)| (class(ip), key_rr(ip)))
+                    .copied()
+            }
+            ArbiterPolicy::AgeBased => props
+                .iter()
+                .filter(|p| still_feasible(p))
+                .min_by_key(|&&(ip, vc)| {
+                    let gen = router.inputs[ip as usize][vc as usize]
+                        .front()
+                        .map(|p| p.header.gen_cycle)
+                        .unwrap_or(u64::MAX);
+                    (gen, key_rr(ip))
+                })
+                .copied(),
+        };
+        if let Some((ip, _)) = pick {
+            self.routers[r].out_rr[out_port] = (ip + 1) % radix;
+        }
+        pick
+    }
+
+    /// Move the granted packet from its input VC to the output buffer,
+    /// reserving downstream credit and returning upstream credit.
+    fn commit_grant(&mut self, r: usize, in_port: usize, vc: usize, out_port: usize) {
+        let params = *self.topo.params();
+        let mut pkt = self.routers[r].inputs[in_port][vc].pop().expect("granted head");
+        let size = pkt.header.size;
+        let decision = pkt.decision.take().expect("granted head has decision");
+        debug_assert_eq!(decision.out_port.idx(), out_port);
+
+        // Wait accounting by input-port kind.
+        let wait = self.cycle.saturating_sub(pkt.eligible_at);
+        match params.port_kind(Port(in_port as u32)) {
+            PortKind::Injection => pkt.waits.injection += wait,
+            PortKind::Local => pkt.waits.local += wait,
+            PortKind::Global => pkt.waits.global += wait,
+        }
+        pkt.traversal += self.cfg.pipeline_latency;
+
+        // Fairness counter: packets leaving an injection input.
+        if params.port_kind(Port(in_port as u32)) == PortKind::Injection {
+            self.counters.injected_per_router[r] += 1;
+        }
+
+        // Reserve downstream credit (transit outputs only).
+        if !self.routers[r].credits[out_port].is_empty() {
+            let c = &mut self.routers[r].credits[out_port][decision.out_vc as usize];
+            debug_assert!(*c >= size, "allocator granted without credit");
+            *c -= size;
+        }
+
+        // Return credit upstream for the input space just freed.
+        let flat = r * params.radix() as usize + in_port;
+        let latency = self.latencies[flat];
+        match self.peers[flat] {
+            PortTarget::Node(node) => {
+                self.wheel.schedule(
+                    latency,
+                    Event::NodeCredit { node, vc: vc as u8, phits: size },
+                );
+            }
+            PortTarget::Router { router, port } => {
+                self.wheel.schedule(
+                    latency,
+                    Event::Credit { router, port, vc: vc as u8, phits: size },
+                );
+            }
+        }
+
+        // Commit the route state chosen by the policy and stage the packet.
+        pkt.route = decision.info;
+        pkt.out_enq_at = self.cycle;
+        self.routers[r].outputs[out_port].push(Staged { pkt, out_vc: decision.out_vc });
+    }
+
+    /// Start link transmissions from output buffers.
+    fn transmit_outputs(&mut self, r: usize) {
+        let params = *self.topo.params();
+        let radix = params.radix() as usize;
+        for out_port in 0..radix {
+            let ready = {
+                let ob = &self.routers[r].outputs[out_port];
+                ob.link_free_at <= self.cycle && !ob.is_empty()
+            };
+            if !ready {
+                continue;
+            }
+            let mut staged = self.routers[r].outputs[out_port].pop_for_tx().expect("non-empty");
+            let size = staged.pkt.header.size;
+            let flat = r * radix + out_port;
+            let latency = self.latencies[flat];
+            // Output-side waiting, attributed by output-port kind
+            // (ejection counts as local — it is intra-"last-hop" HoL).
+            let wait = self.cycle - staged.pkt.out_enq_at;
+            match params.port_kind(Port(out_port as u32)) {
+                PortKind::Injection | PortKind::Local => staged.pkt.waits.local += wait,
+                PortKind::Global => staged.pkt.waits.global += wait,
+            }
+            self.routers[r].outputs[out_port].link_free_at = self.cycle + size as u64;
+            self.routers[r].outputs[out_port].release(size);
+            match self.peers[flat] {
+                PortTarget::Node(node) => {
+                    staged.pkt.traversal += latency + size as u64;
+                    self.wheel.schedule(
+                        latency + size as u64,
+                        Event::ArriveNode { node, pkt: staged.pkt },
+                    );
+                }
+                PortTarget::Router { router, port } => {
+                    staged.pkt.traversal += latency;
+                    self.wheel.schedule(
+                        latency,
+                        Event::ArriveRouter {
+                            router,
+                            port,
+                            vc: staged.out_vc,
+                            pkt: staged.pkt,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Decision, PacketHeader, RouteInfo};
+    use df_topology::{Arrangement, DragonflyParams};
+
+    /// Minimal-only test policy: local hop to exit router, global hop,
+    /// local hop to destination router, ejection.
+    struct MinOnly {
+        topo: Topology,
+    }
+
+    impl RoutingPolicy for MinOnly {
+        fn route(
+            &mut self,
+            router: &RouterState,
+            _in_port: Port,
+            hdr: &PacketHeader,
+            mut info: RouteInfo,
+        ) -> Decision {
+            let params = self.topo.params();
+            let me = router.id();
+            let dst_router = hdr.dst.router(params);
+            let (out_port, out_vc, is_global) = if dst_router == me {
+                (params.injection_port(hdr.dst.slot(params)), 0, false)
+            } else if dst_router.group(params) == me.group(params) {
+                (
+                    params.local_port(me.local_index(params), dst_router.local_index(params)),
+                    info.local_hops,
+                    false,
+                )
+            } else {
+                let (exit, j) =
+                    self.topo.exit_to_group(me.group(params), dst_router.group(params));
+                if exit == me {
+                    (params.global_port(j), info.global_hops, true)
+                } else {
+                    (
+                        params.local_port(me.local_index(params), exit.local_index(params)),
+                        info.local_hops,
+                        false,
+                    )
+                }
+            };
+            if is_global {
+                info.global_hops += 1;
+            } else if params.port_kind(out_port) == PortKind::Local {
+                info.local_hops += 1;
+            }
+            Decision { out_port, out_vc, info }
+        }
+
+        fn name(&self) -> &'static str {
+            "test-min"
+        }
+    }
+
+    fn small_net() -> Network<MinOnly, crate::policy::NullSink> {
+        let params = DragonflyParams::figure1();
+        let topo = Topology::new(params, Arrangement::Palmtree);
+        let policy = MinOnly { topo: topo.clone() };
+        let cfg = EngineConfig::paper(ArbiterPolicy::RoundRobin, 3);
+        Network::new(topo, cfg, policy, crate::policy::NullSink)
+    }
+
+    #[test]
+    fn single_packet_same_group_delivered() {
+        let mut net = small_net();
+        // Node 0 (router 0) to a node on router 1, same group.
+        let dst = NodeId(2); // router 1, slot 0 (p=2)
+        assert!(net.offer(NodeId(0), dst));
+        assert!(net.drain(2000), "packet should be delivered");
+        assert_eq!(net.counters().delivered_packets, 1);
+        assert_eq!(net.counters().delivered_phits, 8);
+    }
+
+    #[test]
+    fn single_packet_cross_group_delivered() {
+        let mut net = small_net();
+        let nodes = net.topology().params().nodes();
+        assert!(net.offer(NodeId(0), NodeId(nodes - 1)));
+        assert!(net.drain(5000));
+        assert_eq!(net.counters().delivered_packets, 1);
+    }
+
+    #[test]
+    fn latency_identity_holds() {
+        let params = DragonflyParams::figure1();
+        let topo = Topology::new(params, Arrangement::Palmtree);
+        let policy = MinOnly { topo: topo.clone() };
+        let cfg = EngineConfig::paper(ArbiterPolicy::RoundRobin, 3);
+        let records = std::cell::RefCell::new(Vec::new());
+        {
+            let sink = |rec: &DeliveredRecord| records.borrow_mut().push(*rec);
+            let mut net = Network::new(topo, cfg, policy, sink);
+            for i in 0..10u32 {
+                net.offer(NodeId(i % 72), NodeId((i * 7 + 13) % 72));
+            }
+            assert!(net.drain(10_000));
+        }
+        let records = records.into_inner();
+        assert_eq!(records.len(), 10);
+        for rec in &records {
+            assert_eq!(
+                rec.latency(),
+                rec.traversal + rec.waits.total(),
+                "every cycle of a packet's life must be accounted exactly once: {rec:?}"
+            );
+            // Minimal routing ⇒ no misrouting latency.
+            assert_eq!(rec.misroute_latency(), 0);
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_matches_min_traversal() {
+        let params = DragonflyParams::figure1();
+        let topo = Topology::new(params, Arrangement::Palmtree);
+        let policy = MinOnly { topo: topo.clone() };
+        let cfg = EngineConfig::paper(ArbiterPolicy::RoundRobin, 3);
+        let records = std::cell::RefCell::new(Vec::new());
+        {
+            let sink = |rec: &DeliveredRecord| records.borrow_mut().push(*rec);
+            let mut net = Network::new(topo, cfg, policy, sink);
+            net.offer(NodeId(0), NodeId(70));
+            assert!(net.drain(10_000));
+        }
+        let rec = records.into_inner()[0];
+        // A single packet in an empty network: zero queueing.
+        assert_eq!(rec.waits.total(), 0);
+        assert_eq!(rec.latency(), rec.min_traversal);
+    }
+
+    #[test]
+    fn injection_counters_attribute_to_source_router() {
+        let mut net = small_net();
+        net.offer(NodeId(0), NodeId(6)); // source router 0
+        net.offer(NodeId(5), NodeId(0)); // source router 2 (p=2)
+        assert!(net.drain(5000));
+        assert_eq!(net.counters().injected_per_router[0], 1);
+        assert_eq!(net.counters().injected_per_router[2], 1);
+    }
+
+    #[test]
+    fn many_packets_all_delivered() {
+        let mut net = small_net();
+        let nodes = net.topology().params().nodes();
+        let mut offered = 0;
+        for round in 0..20u32 {
+            for n in 0..nodes {
+                if (n + round) % 3 == 0 {
+                    let dst = (n * 31 + round * 7 + 1) % nodes;
+                    if dst != n && net.offer(NodeId(n), NodeId(dst)) {
+                        offered += 1;
+                    }
+                }
+            }
+            net.step();
+        }
+        assert!(net.drain(50_000), "network must drain");
+        assert_eq!(net.counters().delivered_packets, offered);
+    }
+
+    #[test]
+    fn credits_fully_restored_after_drain() {
+        // Credit conservation: once the network drains, every credit
+        // counter must be back at its capacity and every buffer empty.
+        let mut net = small_net();
+        let nodes = net.topology().params().nodes();
+        for round in 0..10u32 {
+            for n in 0..nodes {
+                let dst = (n * 7 + round * 13 + 1) % nodes;
+                if dst != n {
+                    net.offer(NodeId(n), NodeId(dst));
+                }
+            }
+            net.step();
+        }
+        assert!(net.drain(100_000));
+        // Let straggler credit returns land.
+        net.run(300);
+        for r in &net.routers {
+            assert_eq!(r.input_packets(), 0);
+            assert_eq!(r.output_packets(), 0);
+            for (port, creds) in r.credits.iter().enumerate() {
+                assert_eq!(
+                    creds, &r.credit_caps[port],
+                    "credits leaked at router {:?} port {port}",
+                    r.id()
+                );
+            }
+        }
+        for node in &net.nodes {
+            assert!(node.queue.is_empty());
+            let total: u32 = node.credits.iter().sum();
+            assert_eq!(total, net.cfg.injection_input_buffer * net.cfg.vcs_injection as u32);
+        }
+        assert_eq!(net.events_pending(), 0);
+    }
+
+    #[test]
+    fn speedup_bounds_grants_per_output() {
+        // With speedup 2, an output can accept at most 2 packets per
+        // cycle; the output buffer (4 packets) can therefore never
+        // overflow even under a burst from many inputs — push a dense
+        // burst through one ejection port and rely on the buffer::push
+        // overflow panic to catch violations.
+        let mut net = small_net();
+        // 16 packets from different sources to the same destination node.
+        for i in 0..16u32 {
+            net.offer(NodeId(2 * i % 72), NodeId(1));
+        }
+        assert!(net.drain(50_000));
+        assert_eq!(net.counters().delivered_packets, 16);
+    }
+
+    #[test]
+    fn counters_reset_clears_window() {
+        let mut net = small_net();
+        net.offer(NodeId(0), NodeId(6));
+        net.drain(5000);
+        assert_eq!(net.counters().delivered_packets, 1);
+        net.reset_counters();
+        assert_eq!(net.counters().delivered_packets, 0);
+        assert_eq!(net.counters().cycles, 0);
+        assert!(net.counters().injected_per_router.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Extension points: routing policies and statistics sinks.
+
+use crate::packet::{Decision, DeliveredRecord, PacketHeader, RouteInfo};
+use crate::router::RouterState;
+use df_topology::Port;
+
+/// A routing mechanism, called by the engine for every head packet that
+/// needs an output decision.
+///
+/// Implementations live in `df-routing`. The engine guarantees:
+/// * `begin_cycle` runs once per simulated cycle, before any allocation,
+///   with read access to every router (used e.g. by PiggyBack's group-wide
+///   saturation exchange);
+/// * `route` sees a consistent congestion snapshot of the current router
+///   and must return a decision whose output port is valid for the packet
+///   (the engine enforces buffer/credit feasibility, not path validity).
+pub trait RoutingPolicy {
+    /// Per-cycle hook before allocation (congestion-state exchange).
+    fn begin_cycle(&mut self, _routers: &[RouterState], _cycle: u64) {}
+
+    /// Decide the output (port, VC, updated route state) for the head
+    /// packet `hdr` with route state `info`, currently at `router` on
+    /// input port `in_port`.
+    fn route(
+        &mut self,
+        router: &RouterState,
+        in_port: Port,
+        hdr: &PacketHeader,
+        info: RouteInfo,
+    ) -> Decision;
+
+    /// If true, pending (ungranted) decisions are recomputed every cycle —
+    /// this is what makes a mechanism *in-transit adaptive*. Oblivious and
+    /// source-adaptive mechanisms decide once per hop.
+    fn adaptive_reroute(&self) -> bool {
+        false
+    }
+
+    /// Human-readable mechanism name (used in experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Receives every delivered packet. Aggregation lives in `df-stats`.
+pub trait StatsSink {
+    /// Called exactly once per delivered packet, in delivery order.
+    fn on_delivered(&mut self, rec: &DeliveredRecord);
+}
+
+impl<T: RoutingPolicy + ?Sized> RoutingPolicy for Box<T> {
+    fn begin_cycle(&mut self, routers: &[RouterState], cycle: u64) {
+        (**self).begin_cycle(routers, cycle)
+    }
+
+    fn route(
+        &mut self,
+        router: &RouterState,
+        in_port: Port,
+        hdr: &PacketHeader,
+        info: RouteInfo,
+    ) -> Decision {
+        (**self).route(router, in_port, hdr, info)
+    }
+
+    fn adaptive_reroute(&self) -> bool {
+        (**self).adaptive_reroute()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Discards all records (warm-up phases, micro-benchmarks).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl StatsSink for NullSink {
+    fn on_delivered(&mut self, _rec: &DeliveredRecord) {}
+}
+
+impl<F: FnMut(&DeliveredRecord)> StatsSink for F {
+    fn on_delivered(&mut self, rec: &DeliveredRecord) {
+        self(rec)
+    }
+}

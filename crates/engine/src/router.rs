@@ -1,0 +1,254 @@
+//! Per-router state: input VCs, output buffers, downstream credits, and
+//! the congestion views consumed by adaptive routing policies.
+
+use crate::buffer::{OutputBuffer, VcBuffer};
+use crate::config::EngineConfig;
+use df_topology::{DragonflyParams, Port, PortKind, PortLayout, RouterId};
+
+/// All state of one router.
+#[derive(Debug)]
+pub struct RouterState {
+    id: RouterId,
+    /// Input buffers, `[port][vc]`.
+    pub(crate) inputs: Vec<Vec<VcBuffer>>,
+    /// Output buffers, `[port]`.
+    pub(crate) outputs: Vec<OutputBuffer>,
+    /// Credits towards the downstream input buffer of each output port,
+    /// `[port][downstream vc]`, in phits. Empty for ejection ports (nodes
+    /// are infinite sinks).
+    pub(crate) credits: Vec<Vec<u32>>,
+    /// Capacity behind each credit counter (for occupancy views).
+    pub(crate) credit_caps: Vec<Vec<u32>>,
+    /// Round-robin pointer per input port (over its VCs).
+    pub(crate) in_rr: Vec<u32>,
+    /// Round-robin pointer per output port (over input ports).
+    pub(crate) out_rr: Vec<u32>,
+}
+
+/// Number of VCs for a port of the given kind under `cfg`.
+pub fn vcs_for(cfg: &EngineConfig, kind: PortKind) -> u8 {
+    match kind {
+        PortKind::Injection => cfg.vcs_injection,
+        PortKind::Local => cfg.vcs_local,
+        PortKind::Global => cfg.vcs_global,
+    }
+}
+
+/// Input-buffer capacity per VC for a port of the given kind.
+pub fn input_capacity_for(cfg: &EngineConfig, kind: PortKind) -> u32 {
+    match kind {
+        PortKind::Injection => cfg.injection_input_buffer,
+        PortKind::Local => cfg.local_input_buffer,
+        PortKind::Global => cfg.global_input_buffer,
+    }
+}
+
+impl RouterState {
+    /// Build an idle router.
+    ///
+    /// Credit counters at each local/global output port mirror the input
+    /// buffer of the *peer* port, which has the same kind (local links
+    /// join two local ports, global links two global ports). Ejection
+    /// ports get no credit counters.
+    pub fn new(id: RouterId, params: &DragonflyParams, cfg: &EngineConfig) -> Self {
+        let radix = params.radix() as usize;
+        let mut inputs = Vec::with_capacity(radix);
+        let mut outputs = Vec::with_capacity(radix);
+        let mut credits = Vec::with_capacity(radix);
+        let mut credit_caps = Vec::with_capacity(radix);
+        for q in 0..radix {
+            let kind = params.port_kind(Port(q as u32));
+            let vcs = vcs_for(cfg, kind) as usize;
+            let in_cap = input_capacity_for(cfg, kind);
+            inputs.push((0..vcs).map(|_| VcBuffer::new(in_cap)).collect());
+            outputs.push(OutputBuffer::new(cfg.output_buffer));
+            let (dvcs, dcap) = match kind {
+                // Ejection side of an injection port: node sinks packets.
+                PortKind::Injection => (0, 0),
+                PortKind::Local => (cfg.vcs_local as usize, cfg.local_input_buffer),
+                PortKind::Global => (cfg.vcs_global as usize, cfg.global_input_buffer),
+            };
+            credits.push(vec![dcap; dvcs]);
+            credit_caps.push(vec![dcap; dvcs]);
+        }
+        Self {
+            id,
+            inputs,
+            outputs,
+            credits,
+            credit_caps,
+            in_rr: vec![0; radix],
+            out_rr: vec![0; radix],
+        }
+    }
+
+    /// This router's id.
+    #[inline]
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// Credits (phits of downstream space) available on `port`, VC `vc`.
+    #[inline]
+    pub fn credits(&self, port: Port, vc: u8) -> u32 {
+        self.credits[port.idx()][vc as usize]
+    }
+
+    /// Total downstream space consumed across all VCs of `port`, in phits.
+    /// This is the "credit count" congestion signal the paper's adaptive
+    /// mechanisms consult.
+    pub fn downstream_occupied(&self, port: Port) -> u32 {
+        let (cr, caps) = (&self.credits[port.idx()], &self.credit_caps[port.idx()]);
+        caps.iter().zip(cr).map(|(cap, c)| cap - c).sum()
+    }
+
+    /// Total downstream capacity across all VCs of `port`, in phits.
+    pub fn downstream_capacity(&self, port: Port) -> u32 {
+        self.credit_caps[port.idx()].iter().sum()
+    }
+
+    /// Occupancy fraction of the queue feeding `port`: staged output
+    /// packets plus consumed downstream space, over the respective
+    /// capacities. `0.0` idle, `1.0` fully backed up. Ejection ports use
+    /// only the output buffer.
+    pub fn output_congestion(&self, port: Port) -> f64 {
+        let ob = &self.outputs[port.idx()];
+        let used = ob.occupancy() + self.downstream_occupied(port);
+        let cap = ob.capacity() + self.downstream_capacity(port);
+        used as f64 / cap as f64
+    }
+
+    /// Queue length feeding `port` in phits (output buffer + consumed
+    /// downstream space). The PiggyBack saturation estimate uses this.
+    pub fn output_queue_phits(&self, port: Port) -> u32 {
+        self.outputs[port.idx()].occupancy() + self.downstream_occupied(port)
+    }
+
+    /// Fraction of the downstream credit window consumed on `port` for
+    /// the specific `vc` (1.0 = no credits left). Ejection ports have no
+    /// credit window and read 0.0. This mirrors a per-VC "number of
+    /// credits of the output port" congestion estimate.
+    pub fn vc_credit_fill(&self, port: Port, vc: u8) -> f64 {
+        match self.credit_caps[port.idx()].get(vc as usize) {
+            Some(&cap) if cap > 0 => {
+                let avail = self.credits[port.idx()][vc as usize];
+                (cap - avail) as f64 / cap as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Occupancy fraction of the output buffer alone (no downstream
+    /// credits). Unlike [`Self::output_congestion`], this signal is free
+    /// of the credit round-trip bias: on long links, in-flight credits
+    /// consume a large constant fraction of the downstream window even
+    /// when no packet is queued, whereas the output buffer only backs up
+    /// under genuine credit exhaustion or link overload.
+    pub fn output_buffer_fill(&self, port: Port) -> f64 {
+        let ob = &self.outputs[port.idx()];
+        ob.occupancy() as f64 / ob.capacity() as f64
+    }
+
+    /// Whether a packet of `size` phits could be granted to `port`/`vc`
+    /// right now (space in the output buffer and downstream credit).
+    pub fn can_accept(&self, port: Port, vc: u8, size: u32) -> bool {
+        if self.outputs[port.idx()].free() < size {
+            return false;
+        }
+        match self.credits[port.idx()].get(vc as usize) {
+            Some(&c) => c >= size,
+            // Ejection port: node always sinks.
+            None => true,
+        }
+    }
+
+    /// Resident packets across all input VCs (diagnostics / drain checks).
+    pub fn input_packets(&self) -> usize {
+        self.inputs.iter().flatten().map(|vc| vc.len()).sum()
+    }
+
+    /// Staged packets across all output buffers.
+    pub fn output_packets(&self) -> usize {
+        self.outputs.iter().map(|o| o.len()).sum()
+    }
+
+    /// Input-VC occupancy in phits for `port`, VC `vc` (resident packets).
+    pub fn input_occupancy(&self, port: Port, vc: u8) -> u32 {
+        self.inputs[port.idx()][vc as usize].occupancy()
+    }
+
+    /// Head packet of an input VC, if any (diagnostics).
+    pub fn head(&self, port: Port, vc: u8) -> Option<&crate::packet::Packet> {
+        self.inputs[port.idx()][vc as usize].front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArbiterPolicy;
+
+    fn setup() -> (DragonflyParams, EngineConfig, RouterState) {
+        let params = DragonflyParams::paper();
+        let cfg = EngineConfig::paper(ArbiterPolicy::RoundRobin, 3);
+        let r = RouterState::new(RouterId(0), &params, &cfg);
+        (params, cfg, r)
+    }
+
+    #[test]
+    fn port_structure_matches_params() {
+        let (params, cfg, r) = setup();
+        assert_eq!(r.inputs.len(), params.radix() as usize);
+        // Injection ports: 3 VCs, no downstream credits.
+        assert_eq!(r.inputs[0].len(), cfg.vcs_injection as usize);
+        assert!(r.credits[0].is_empty());
+        // Local port: 3 VCs with 32-phit credit each.
+        let lp = params.p as usize;
+        assert_eq!(r.inputs[lp].len(), cfg.vcs_local as usize);
+        assert_eq!(r.credits[lp], vec![32; 3]);
+        // Global port: 2 VCs with 256-phit credit each.
+        let gp = (params.p + params.a - 1) as usize;
+        assert_eq!(r.inputs[gp].len(), cfg.vcs_global as usize);
+        assert_eq!(r.credits[gp], vec![256; 2]);
+    }
+
+    #[test]
+    fn idle_router_uncongested() {
+        let (params, _, r) = setup();
+        for q in 0..params.radix() {
+            assert_eq!(r.output_congestion(Port(q)), 0.0);
+            assert_eq!(r.output_queue_phits(Port(q)), 0);
+        }
+    }
+
+    #[test]
+    fn can_accept_respects_credits() {
+        let (params, _, mut r) = setup();
+        let gp = Port(params.p + params.a - 1);
+        assert!(r.can_accept(gp, 0, 8));
+        r.credits[gp.idx()][0] = 4;
+        assert!(!r.can_accept(gp, 0, 8));
+        assert!(r.can_accept(gp, 1, 8));
+    }
+
+    #[test]
+    fn ejection_always_sinks_when_buffer_free() {
+        let (_, _, r) = setup();
+        // Injection/ejection port 0, any VC index: no credit constraint.
+        assert!(r.can_accept(Port(0), 0, 8));
+        assert!(r.can_accept(Port(0), 9, 8));
+    }
+
+    #[test]
+    fn downstream_occupancy_tracks_credits() {
+        let (params, _, mut r) = setup();
+        let gp = Port(params.p + params.a - 1);
+        assert_eq!(r.downstream_occupied(gp), 0);
+        r.credits[gp.idx()][0] -= 8;
+        r.credits[gp.idx()][1] -= 16;
+        assert_eq!(r.downstream_occupied(gp), 24);
+        assert_eq!(r.downstream_capacity(gp), 512);
+        let c = r.output_congestion(gp);
+        assert!((c - 24.0 / (512.0 + 32.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! # df-stats
+//!
+//! Performance and fairness metrics for the Dragonfly unfairness
+//! reproduction (§IV-B of the paper):
+//!
+//! * [`OnlineStats`] — streaming mean/variance (Welford), mergeable for
+//!   multi-seed aggregation,
+//! * [`LatencyAccumulator`] — the five-component latency breakdown of
+//!   Figure 3 (base, misrouting, local/global congestion, injection),
+//! * [`FairnessReport`] — Min inj, Max/Min, CoV (and Jain's index),
+//! * [`Histogram`] — latency distributions and quantiles.
+//!
+//! The crate is deliberately engine-agnostic: it consumes plain numbers,
+//! so every metric is unit-testable without running a simulation.
+
+#![warn(missing_docs)]
+
+mod fairness;
+mod histogram;
+mod latency;
+mod online;
+
+pub use fairness::FairnessReport;
+pub use histogram::Histogram;
+pub use latency::LatencyAccumulator;
+pub use online::OnlineStats;

@@ -1,0 +1,130 @@
+//! Global-link arrangements.
+//!
+//! In a canonical Dragonfly every group owns `a*h = G-1` global links, one
+//! to each other group. The *arrangement* decides **which router and which
+//! global port** of a group handles the link to each other group. The paper
+//! uses the *palmtree* arrangement (Camarero et al., TACO 2014), under which
+//! the `h` groups immediately following a group all hang off one router —
+//! the ADVc bottleneck.
+//!
+//! We describe an arrangement by a per-group bijection from the *group
+//! offset* `k ∈ 1..G` (destination group `(g + k) mod G`) to a *slot*
+//! `s = i*h + j ∈ 0..a*h` (router `i`, global port `j`). Any family of
+//! per-group bijections yields a consistent matching because the link
+//! between `g` and `g+k` is the one stored at offset `k` in `g` and at
+//! offset `G-k` in `g+k`.
+
+use serde::{Deserialize, Serialize};
+
+/// Selects how global links are distributed among a group's routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arrangement {
+    /// The paper's arrangement: slot `i*h + j` points to group offset
+    /// `G - (i*h + j + 1)`. Consequently router `a-1` owns the links to
+    /// offsets `+1..+h` (the ADVc bottleneck) and router `0` owns the
+    /// links to offsets `-1..-h` (the minimal-traffic receiver).
+    Palmtree,
+    /// Slot `i*h + j` points to offset `i*h + j + 1`: router `0` owns
+    /// offsets `+1..+h`. Mirror image of palmtree; used for ablations.
+    Consecutive,
+    /// Per-group pseudo-random bijection seeded deterministically. Used to
+    /// study whether scattering consecutive destinations across routers
+    /// dissolves the ADVc bottleneck.
+    Random {
+        /// Seed for the per-group shuffles.
+        seed: u64,
+    },
+}
+
+impl Arrangement {
+    /// Build the offset→slot table for group `g`.
+    /// `table[k-1] = slot` for offset `k in 1..groups`.
+    pub(crate) fn offset_to_slot_table(&self, g: u32, groups: u32) -> Vec<u32> {
+        let links = groups - 1; // a*h
+        match *self {
+            Arrangement::Palmtree => (1..groups).map(|k| links - k).collect(),
+            Arrangement::Consecutive => (0..links).collect(),
+            Arrangement::Random { seed } => {
+                let mut table: Vec<u32> = (0..links).collect();
+                // Fisher-Yates with a splitmix64 stream per group, so the
+                // arrangement is deterministic in (seed, g).
+                let mut state = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(g as u64 + 1));
+                for i in (1..links as usize).rev() {
+                    let r = splitmix64(&mut state) as usize % (i + 1);
+                    table.swap(i, r);
+                }
+                table
+            }
+        }
+    }
+}
+
+/// SplitMix64 step — small local PRNG so this crate stays dependency-light.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(table: &[u32]) {
+        let mut seen = vec![false; table.len()];
+        for &s in table {
+            assert!(!seen[s as usize], "slot {s} assigned twice");
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn palmtree_is_bijection() {
+        assert_bijection(&Arrangement::Palmtree.offset_to_slot_table(0, 73));
+    }
+
+    #[test]
+    fn consecutive_is_bijection() {
+        assert_bijection(&Arrangement::Consecutive.offset_to_slot_table(0, 73));
+    }
+
+    #[test]
+    fn random_is_bijection_every_group() {
+        for g in 0..19 {
+            assert_bijection(&Arrangement::Random { seed: 42 }.offset_to_slot_table(g, 19));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Arrangement::Random { seed: 7 }.offset_to_slot_table(3, 19);
+        let b = Arrangement::Random { seed: 7 }.offset_to_slot_table(3, 19);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_differs_across_groups() {
+        let a = Arrangement::Random { seed: 7 }.offset_to_slot_table(0, 73);
+        let b = Arrangement::Random { seed: 7 }.offset_to_slot_table(1, 73);
+        assert_ne!(a, b, "astronomically unlikely to coincide");
+    }
+
+    #[test]
+    fn palmtree_offset_one_maps_to_last_slot() {
+        // Offset +1 must be owned by router a-1, port h-1 (slot a*h - 1).
+        let t = Arrangement::Palmtree.offset_to_slot_table(0, 73);
+        assert_eq!(t[0], 71);
+    }
+
+    #[test]
+    fn palmtree_first_h_offsets_same_router() {
+        // h=6, a=12: offsets 1..=6 land in slots 71..=66, all router 11.
+        let t = Arrangement::Palmtree.offset_to_slot_table(0, 73);
+        for k in 1..=6usize {
+            assert_eq!(t[k - 1] / 6, 11);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Bernoulli packet generation (§IV-A).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates packets per node per cycle with probability
+/// `load / packet_size`, so the *offered* load in phits/(node·cycle)
+/// equals `load` in expectation.
+#[derive(Debug, Clone)]
+pub struct BernoulliInjector {
+    prob: f64,
+    rng: SmallRng,
+}
+
+impl BernoulliInjector {
+    /// `load` in phits/(node·cycle), `packet_size` in phits.
+    ///
+    /// # Panics
+    /// Panics if the resulting per-cycle probability exceeds 1 (a node
+    /// cannot source more than one packet per cycle) or `load` is
+    /// negative.
+    pub fn new(load: f64, packet_size: u32, seed: u64) -> Self {
+        assert!(load >= 0.0, "load must be non-negative");
+        let prob = load / packet_size as f64;
+        assert!(
+            prob <= 1.0,
+            "load {load} phits/node/cycle exceeds one packet per cycle"
+        );
+        Self { prob, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Should this node generate a packet this cycle?
+    #[inline]
+    pub fn fire(&mut self) -> bool {
+        self.prob > 0.0 && self.rng.gen_bool(self.prob)
+    }
+
+    /// The per-cycle generation probability.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_rate_within_tolerance() {
+        let mut b = BernoulliInjector::new(0.4, 8, 11);
+        let trials = 200_000;
+        let fired = (0..trials).filter(|_| b.fire()).count();
+        let rate = fired as f64 / trials as f64;
+        assert!((rate - 0.05).abs() < 0.003, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_load_never_fires() {
+        let mut b = BernoulliInjector::new(0.0, 8, 1);
+        assert!((0..1000).all(|_| !b.fire()));
+    }
+
+    #[test]
+    fn full_load_is_one_packet_every_size_cycles() {
+        let mut b = BernoulliInjector::new(8.0, 8, 1);
+        assert_eq!(b.probability(), 1.0);
+        assert!((0..100).all(|_| b.fire()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one packet")]
+    fn overload_rejected() {
+        BernoulliInjector::new(9.0, 8, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = BernoulliInjector::new(0.4, 8, 99);
+        let mut b = BernoulliInjector::new(0.4, 8, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.fire(), b.fire());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # df-traffic
+//!
+//! Synthetic traffic patterns for Dragonfly networks, including the
+//! paper's three evaluation workloads:
+//!
+//! * **UN** — uniform random destinations across the whole network,
+//! * **ADV+k** — every node of group *g* sends to random nodes of group
+//!   *g+k* (the classic adversarial pattern; the paper uses `k = 1`),
+//! * **ADVc** — *adversarial consecutive*: every node of group *g* sends
+//!   to random nodes of the `h` consecutive groups `g+1 … g+h`, whose
+//!   minimal paths all meet in one bottleneck router under palmtree.
+//!
+//! Extensions beyond the paper: group-local traffic, a fixed random node
+//! permutation, a hot-spot pattern, and pattern mixes — all useful for
+//! widening the fairness study.
+//!
+//! Packet generation follows a Bernoulli process per node with an
+//! adjustable injection probability in phits/(node·cycle), as in §IV-A.
+
+#![warn(missing_docs)]
+
+mod bernoulli;
+mod patterns;
+mod spec;
+
+pub use bernoulli::BernoulliInjector;
+pub use patterns::{
+    AdvConsecutive, Adversarial, GroupLocal, HotSpot, Mix, Permutation, Traffic, Uniform,
+};
+pub use spec::PatternSpec;

@@ -1,0 +1,422 @@
+//! Destination-selection patterns.
+
+use df_topology::{DragonflyParams, GroupId, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A traffic pattern: picks a destination for each packet a node
+/// generates. Implementations own their RNG so a pattern with a fixed
+/// seed produces a deterministic destination stream.
+pub trait Traffic: Send {
+    /// Destination for a packet generated at `src`.
+    fn dest(&mut self, src: NodeId) -> NodeId;
+
+    /// Human-readable pattern name.
+    fn name(&self) -> &'static str;
+}
+
+/// Pick a uniformly random node of `group`, excluding `exclude` (if it is
+/// in that group).
+fn random_node_in_group(
+    params: &DragonflyParams,
+    group: GroupId,
+    exclude: Option<NodeId>,
+    rng: &mut SmallRng,
+) -> NodeId {
+    let per_group = params.a * params.p;
+    let base = group.0 * per_group;
+    loop {
+        let n = NodeId(base + rng.gen_range(0..per_group));
+        if Some(n) != exclude {
+            return n;
+        }
+    }
+}
+
+/// Uniform random traffic (UN): any node of the network, excluding the
+/// source itself.
+pub struct Uniform {
+    params: DragonflyParams,
+    rng: SmallRng,
+}
+
+impl Uniform {
+    /// Create with a deterministic seed.
+    pub fn new(params: DragonflyParams, seed: u64) -> Self {
+        Self { params, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Traffic for Uniform {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        loop {
+            let n = NodeId(self.rng.gen_range(0..self.params.nodes()));
+            if n != src {
+                return n;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "UN"
+    }
+}
+
+/// Adversarial traffic (ADV+k): every node of group *g* sends to random
+/// nodes of group *g+k*.
+pub struct Adversarial {
+    params: DragonflyParams,
+    offset: u32,
+    rng: SmallRng,
+}
+
+impl Adversarial {
+    /// Create ADV+`offset` with a deterministic seed.
+    ///
+    /// # Panics
+    /// Panics if `offset` is zero or not smaller than the group count.
+    pub fn new(params: DragonflyParams, offset: u32, seed: u64) -> Self {
+        assert!(offset >= 1 && offset < params.groups(), "ADV offset out of range");
+        Self { params, offset, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Traffic for Adversarial {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        let g = src.group(&self.params);
+        let dst_group = GroupId((g.0 + self.offset) % self.params.groups());
+        random_node_in_group(&self.params, dst_group, None, &mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "ADV"
+    }
+}
+
+/// Adversarial-consecutive traffic (ADVc, §III): every node of group *g*
+/// sends to random nodes of the `spread` consecutive groups
+/// `g+1 … g+spread` (default `spread = h`). Under the palmtree
+/// arrangement the minimal paths to all of them leave through a single
+/// bottleneck router.
+pub struct AdvConsecutive {
+    params: DragonflyParams,
+    spread: u32,
+    rng: SmallRng,
+}
+
+impl AdvConsecutive {
+    /// ADVc with the paper's spread of `h` destination groups.
+    pub fn new(params: DragonflyParams, seed: u64) -> Self {
+        Self::with_spread(params, params.h, seed)
+    }
+
+    /// ADVc variant targeting `spread` consecutive groups.
+    ///
+    /// # Panics
+    /// Panics if `spread` is zero or not smaller than the group count.
+    pub fn with_spread(params: DragonflyParams, spread: u32, seed: u64) -> Self {
+        assert!(spread >= 1 && spread < params.groups(), "ADVc spread out of range");
+        Self { params, spread, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Traffic for AdvConsecutive {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        let g = src.group(&self.params);
+        let k = self.rng.gen_range(1..=self.spread);
+        let dst_group = GroupId((g.0 + k) % self.params.groups());
+        random_node_in_group(&self.params, dst_group, None, &mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "ADVc"
+    }
+}
+
+/// Extension: all traffic stays within the source group (stresses only
+/// local links; a fairness sanity baseline).
+pub struct GroupLocal {
+    params: DragonflyParams,
+    rng: SmallRng,
+}
+
+impl GroupLocal {
+    /// Create with a deterministic seed.
+    pub fn new(params: DragonflyParams, seed: u64) -> Self {
+        Self { params, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Traffic for GroupLocal {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        random_node_in_group(&self.params, src.group(&self.params), Some(src), &mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "LOCAL"
+    }
+}
+
+/// Extension: a fixed random permutation of nodes — every node sends all
+/// its traffic to exactly one partner, and receives from exactly one.
+pub struct Permutation {
+    table: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// Derive a deterministic permutation (without fixed points) from
+    /// `seed`.
+    pub fn new(params: DragonflyParams, seed: u64) -> Self {
+        let n = params.nodes();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut table: Vec<u32> = (0..n).collect();
+        // Rotate-then-shuffle with fixed-point repair: a derangement is
+        // not required for correctness, but self-traffic would bypass the
+        // network entirely, so repair any fixed point by swapping with its
+        // neighbour.
+        for i in (1..n as usize).rev() {
+            let j = rng.gen_range(0..=i);
+            table.swap(i, j);
+        }
+        for i in 0..n as usize {
+            if table[i] == i as u32 {
+                let j = (i + 1) % n as usize;
+                table.swap(i, j);
+            }
+        }
+        Self { table: table.into_iter().map(NodeId).collect() }
+    }
+}
+
+impl Traffic for Permutation {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        self.table[src.idx()]
+    }
+
+    fn name(&self) -> &'static str {
+        "PERM"
+    }
+}
+
+/// Extension: hot-spot traffic — a fraction of packets target one hot
+/// node, the rest are uniform.
+pub struct HotSpot {
+    uniform: Uniform,
+    hot: NodeId,
+    fraction: f64,
+    rng: SmallRng,
+}
+
+impl HotSpot {
+    /// `fraction` of traffic goes to `hot`, the rest is uniform.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn new(params: DragonflyParams, hot: NodeId, fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        Self {
+            uniform: Uniform::new(params, seed ^ 0xdead_beef),
+            hot,
+            fraction,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Traffic for HotSpot {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        if src != self.hot && self.rng.gen_bool(self.fraction) {
+            self.hot
+        } else {
+            self.uniform.dest(src)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HOTSPOT"
+    }
+}
+
+/// Extension: probabilistic mix of two patterns (e.g. 70% UN + 30% ADVc,
+/// approximating a shared machine running several applications).
+pub struct Mix {
+    first: Box<dyn Traffic>,
+    second: Box<dyn Traffic>,
+    first_fraction: f64,
+    rng: SmallRng,
+}
+
+impl Mix {
+    /// `first_fraction` of packets follow `first`, the rest `second`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= first_fraction <= 1.0`.
+    pub fn new(
+        first: Box<dyn Traffic>,
+        second: Box<dyn Traffic>,
+        first_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&first_fraction));
+        Self { first, second, first_fraction, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Traffic for Mix {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        if self.rng.gen_bool(self.first_fraction) {
+            self.first.dest(src)
+        } else {
+            self.second.dest(src)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MIX"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DragonflyParams {
+        DragonflyParams::small()
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let p = params();
+        let mut t = Uniform::new(p, 1);
+        for n in 0..p.nodes() {
+            for _ in 0..10 {
+                assert_ne!(t.dest(NodeId(n)), NodeId(n));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_many_destinations() {
+        let p = params();
+        let mut t = Uniform::new(p, 2);
+        let mut seen = vec![false; p.nodes() as usize];
+        for _ in 0..20_000 {
+            seen[t.dest(NodeId(0)).idx()] = true;
+        }
+        let covered = seen.iter().filter(|&&b| b).count();
+        assert!(covered as u32 > p.nodes() * 9 / 10, "covered {covered}");
+    }
+
+    #[test]
+    fn adversarial_targets_exact_group() {
+        let p = params();
+        let mut t = Adversarial::new(p, 1, 3);
+        for n in (0..p.nodes()).step_by(5) {
+            let src = NodeId(n);
+            let dst = t.dest(src);
+            let expect = (src.group(&p).0 + 1) % p.groups();
+            assert_eq!(dst.group(&p).0, expect);
+        }
+    }
+
+    #[test]
+    fn advc_targets_h_consecutive_groups_only() {
+        let p = params();
+        let mut t = AdvConsecutive::new(p, 4);
+        let src = NodeId(0);
+        let mut hit = vec![0u32; p.groups() as usize];
+        for _ in 0..6000 {
+            hit[t.dest(src).group(&p).idx()] += 1;
+        }
+        for g in 0..p.groups() {
+            if g >= 1 && g <= p.h {
+                assert!(hit[g as usize] > 0, "group {g} never targeted");
+                // Roughly uniform across the h groups.
+                let expected = 6000 / p.h;
+                assert!(
+                    (hit[g as usize] as i64 - expected as i64).abs() < expected as i64 / 2,
+                    "group {g}: {}",
+                    hit[g as usize]
+                );
+            } else {
+                assert_eq!(hit[g as usize], 0, "group {g} wrongly targeted");
+            }
+        }
+    }
+
+    #[test]
+    fn advc_wraps_around_group_space() {
+        let p = params();
+        let mut t = AdvConsecutive::new(p, 5);
+        let last_group_node = NodeId(p.nodes() - 1);
+        for _ in 0..100 {
+            let dst = t.dest(last_group_node);
+            let off = (dst.group(&p).0 + p.groups() - (p.groups() - 1)) % p.groups();
+            assert!(off >= 1 && off <= p.h);
+        }
+    }
+
+    #[test]
+    fn group_local_stays_in_group() {
+        let p = params();
+        let mut t = GroupLocal::new(p, 6);
+        for n in (0..p.nodes()).step_by(7) {
+            let src = NodeId(n);
+            let dst = t.dest(src);
+            assert_eq!(dst.group(&p), src.group(&p));
+            assert_ne!(dst, src);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective_and_fixed() {
+        let p = params();
+        let mut t = Permutation::new(p, 7);
+        let mut seen = vec![false; p.nodes() as usize];
+        for n in 0..p.nodes() {
+            let d = t.dest(NodeId(n));
+            assert_ne!(d, NodeId(n), "fixed point at {n}");
+            assert!(!seen[d.idx()], "node {} targeted twice", d.0);
+            seen[d.idx()] = true;
+            // Stable across calls.
+            assert_eq!(t.dest(NodeId(n)), d);
+        }
+    }
+
+    #[test]
+    fn hotspot_fraction_respected() {
+        let p = params();
+        let hot = NodeId(10);
+        let mut t = HotSpot::new(p, hot, 0.3, 8);
+        let mut hits = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if t.dest(NodeId(0)) == hot {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        // Uniform fallback also occasionally hits the hot node.
+        assert!((0.27..0.36).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn mix_draws_from_both() {
+        let p = params();
+        let mut t = Mix::new(
+            Box::new(Adversarial::new(p, 1, 1)),
+            Box::new(Adversarial::new(p, 2, 2)),
+            0.5,
+            9,
+        );
+        let (mut g1, mut g2) = (0, 0);
+        for _ in 0..1000 {
+            match t.dest(NodeId(0)).group(&p).0 {
+                1 => g1 += 1,
+                2 => g2 += 1,
+                g => panic!("unexpected group {g}"),
+            }
+        }
+        assert!(g1 > 300 && g2 > 300, "g1={g1} g2={g2}");
+    }
+}

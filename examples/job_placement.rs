@@ -1,0 +1,132 @@
+//! The paper's §III motivation, played out: an HPC application allocated
+//! on `h+1` consecutive groups generates ADVc-like traffic even though
+//! the application itself communicates *uniformly* between its processes.
+//!
+//! This example runs uniform traffic restricted to a consecutive slice of
+//! groups (a "job"), versus the same job scattered over non-consecutive
+//! groups, and compares the fairness of the routers inside the job.
+//!
+//! ```text
+//! cargo run --release --example job_placement
+//! ```
+
+use dragonfly_core::df_traffic::Traffic;
+use dragonfly_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform traffic among the nodes of a fixed set of groups — what an
+/// application allocated on those groups produces.
+struct JobUniform {
+    params: DragonflyParams,
+    groups: Vec<u32>,
+    rng: SmallRng,
+}
+
+impl Traffic for JobUniform {
+    fn dest(&mut self, src: NodeId) -> NodeId {
+        let per_group = self.params.a * self.params.p;
+        loop {
+            let g = self.groups[self.rng.gen_range(0..self.groups.len())];
+            let n = NodeId(g * per_group + self.rng.gen_range(0..per_group));
+            if n != src {
+                return n;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "JOB-UN"
+    }
+}
+
+fn run_job(params: DragonflyParams, job_groups: Vec<u32>, label: &str) {
+    let cfg = SimConfig::small(
+        MechanismSpec::InTransitMm,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Uniform, // placeholder; we drive the sim manually
+        0.4,
+    );
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    let engine_cfg = cfg.engine_config();
+    let policy = cfg.mechanism.build(topo.clone(), &engine_cfg, 7);
+    let mut net = dragonfly_core::df_engine::Network::new(
+        topo,
+        engine_cfg,
+        policy,
+        dragonfly_core::df_engine::NullSink,
+    );
+    let mut traffic = JobUniform {
+        params,
+        groups: job_groups.clone(),
+        rng: SmallRng::seed_from_u64(3),
+    };
+    let mut injector = dragonfly_core::df_traffic::BernoulliInjector::new(0.4, 8, 5);
+    let per_group = params.a * params.p;
+    let job_nodes: Vec<NodeId> = job_groups
+        .iter()
+        .flat_map(|&g| (0..per_group).map(move |i| NodeId(g * per_group + i)))
+        .collect();
+
+    let warmup = 6_000;
+    let measure = 12_000;
+    for t in 0..(warmup + measure) {
+        if t == warmup {
+            net.reset_counters();
+        }
+        for &n in &job_nodes {
+            if injector.fire() {
+                let dst = traffic.dest(n);
+                net.offer(n, dst);
+            }
+        }
+        net.step();
+    }
+
+    // Fairness across the routers of the job's groups only.
+    let a = params.a as usize;
+    let counts: Vec<u64> = job_groups
+        .iter()
+        .flat_map(|&g| {
+            net.counters().injected_per_router[g as usize * a..(g as usize + 1) * a].to_vec()
+        })
+        .collect();
+    let fairness = FairnessReport::from_u64(&counts);
+    println!("\n=== {label} (groups {job_groups:?}) ===");
+    println!("  accepted load (whole net) : {:.4}", net.counters().throughput(params.nodes()));
+    println!("  min / mean injections     : {:.0} / {:.0}", fairness.min, fairness.mean);
+    println!("  max/min ratio             : {:.2}", fairness.max_min_ratio);
+    println!("  CoV                       : {:.4}", fairness.cov);
+    let g0 = job_groups[0] as usize;
+    print!("  group {g0} per-router        :");
+    for c in &net.counters().injected_per_router[g0 * a..(g0 + 1) * a] {
+        print!(" {c:>6}");
+    }
+    println!();
+}
+
+fn main() {
+    let params = DragonflyParams::small();
+    println!(
+        "job of {} groups on a {}-group Dragonfly, uniform traffic within the job",
+        params.h + 1,
+        params.groups()
+    );
+
+    // Consecutive allocation — the scheduler's simplest choice. Uniform
+    // in-job traffic degenerates into ADVc at the network level (§III).
+    let consecutive: Vec<u32> = (0..=params.h).collect();
+    run_job(params, consecutive, "consecutive allocation");
+
+    // Scattered allocation: same job size, groups spread out.
+    let stride = params.groups() / (params.h + 1);
+    let scattered: Vec<u32> = (0..=params.h).map(|i| i * stride).collect();
+    run_job(params, scattered, "scattered allocation");
+
+    println!(
+        "\nThe consecutive job funnels its inter-group traffic through each \
+         group's bottleneck router (palmtree arrangement), reproducing the \
+         ADVc fairness hazard; scattering the groups spreads the exit \
+         routers and restores balance."
+    );
+}

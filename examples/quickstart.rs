@@ -1,0 +1,62 @@
+//! Quickstart: simulate one Dragonfly configuration and print every
+//! metric the library produces.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dragonfly_core::prelude::*;
+
+fn main() {
+    // A reduced-scale canonical Dragonfly (p=3, a=6, h=3 → 342 nodes)
+    // running the paper's headline scenario: ADVc traffic, in-transit
+    // adaptive routing with the Mixed-mode misrouting policy, and
+    // transit-over-injection priority at the allocators.
+    let cfg = SimConfig::small(
+        MechanismSpec::InTransitMm,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::AdvConsecutive { spread: None },
+        0.4, // offered load in phits/(node·cycle)
+    );
+
+    println!(
+        "simulating {} nodes, {} routers, {} groups — {} under {} traffic",
+        cfg.params.nodes(),
+        cfg.params.routers(),
+        cfg.params.groups(),
+        cfg.mechanism.label(),
+        cfg.pattern.label(),
+    );
+
+    let result = run_single(&cfg);
+
+    println!("\noffered load    : {:.4} phits/node/cycle", result.offered);
+    println!("accepted load   : {:.4} phits/node/cycle", result.throughput);
+    println!("mean latency    : {:.1} cycles", result.avg_latency);
+    if let Some(p99) = result.p99_latency {
+        println!("p99 latency     : <= {p99} cycles");
+    }
+
+    let [base, mis, lq, gq, inj] = result.components;
+    println!("\nlatency breakdown (Figure 3 components):");
+    println!("  base (minimal path) : {base:>8.1}");
+    println!("  misrouting          : {mis:>8.1}");
+    println!("  local queues        : {lq:>8.1}");
+    println!("  global queues       : {gq:>8.1}");
+    println!("  injection queues    : {inj:>8.1}");
+
+    println!("\nfairness over per-router injections (Table II metrics):");
+    println!("  min injections      : {:>8.1}", result.fairness.min);
+    println!("  max/min ratio       : {:>8.2}", result.fairness.max_min_ratio);
+    println!("  CoV (sigma/mu)      : {:>8.4}", result.fairness.cov);
+    println!("  Jain index          : {:>8.4}", result.fairness.jain);
+
+    // The ADVc bottleneck router is the last router of each group under
+    // the palmtree arrangement.
+    let a = cfg.params.a as usize;
+    let group0 = &result.injected_per_router[..a];
+    println!("\ninjections, group 0 (bottleneck is R{}):", a - 1);
+    for (i, count) in group0.iter().enumerate() {
+        println!("  R{i:<2} {count:>7}  {}", "#".repeat((count / 50) as usize));
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dragonfly_core::prelude::*;
+
+/// A fast configuration on the paper's Figure 1 network (72 nodes):
+/// short warm-up and measurement windows keep each test under a second
+/// while leaving the bottleneck structure intact.
+pub fn tiny_config(
+    mechanism: MechanismSpec,
+    arbiter: ArbiterPolicy,
+    pattern: PatternSpec,
+    load: f64,
+) -> SimConfig {
+    let mut cfg = SimConfig::small(mechanism, arbiter, pattern, load);
+    cfg.params = DragonflyParams::figure1();
+    cfg.warmup_cycles = 3_000;
+    cfg.measure_cycles = 6_000;
+    cfg
+}
+
+/// The reduced-scale (342-node) configuration with a shortened protocol,
+/// for tests that need `h >= 3` (PB saturation detection) or a realistic
+/// bottleneck ratio.
+pub fn small_config(
+    mechanism: MechanismSpec,
+    arbiter: ArbiterPolicy,
+    pattern: PatternSpec,
+    load: f64,
+) -> SimConfig {
+    let mut cfg = SimConfig::small(mechanism, arbiter, pattern, load);
+    cfg.warmup_cycles = 5_000;
+    cfg.measure_cycles = 8_000;
+    cfg
+}
+
+/// Injections of the ADVc bottleneck router (router `a-1` of group 0
+/// under palmtree) vs the mean of the other routers of group 0.
+pub fn bottleneck_vs_rest(result: &RunResult, params: &DragonflyParams) -> (f64, f64) {
+    let a = params.a as usize;
+    let group0 = &result.injected_per_router[..a];
+    let bottleneck = group0[a - 1] as f64;
+    let rest: f64 = group0[..a - 1].iter().map(|&c| c as f64).sum::<f64>() / (a - 1) as f64;
+    (bottleneck, rest)
+}

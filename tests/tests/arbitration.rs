@@ -1,0 +1,142 @@
+//! Arbitration-policy effects, isolated with MIN routing under ADV+1:
+//! every packet of a group funnels through the exit router, so its
+//! injection competes head-on with the whole group's transit.
+
+use dragonfly_core::df_engine::ArbiterPolicy;
+use dragonfly_core::df_routing::MechanismSpec;
+use dragonfly_core::df_traffic::PatternSpec;
+use dragonfly_core::prelude::*;
+use integration_tests::{bottleneck_vs_rest, tiny_config};
+
+fn adv1_min(arbiter: ArbiterPolicy) -> RunResult {
+    // ADV+1 with MIN overloads the single exit link per group; the exit
+    // router's own nodes contend with 3 transit routers' traffic.
+    run_single(&tiny_config(
+        MechanismSpec::Min,
+        arbiter,
+        PatternSpec::Adversarial { offset: 1 },
+        0.4,
+    ))
+}
+
+#[test]
+fn transit_priority_disadvantages_the_exit_router() {
+    let params = DragonflyParams::figure1();
+    let prio = adv1_min(ArbiterPolicy::TransitPriority);
+    let rr = adv1_min(ArbiterPolicy::RoundRobin);
+    let (b_prio, rest_prio) = bottleneck_vs_rest(&prio, &params);
+    let (b_rr, rest_rr) = bottleneck_vs_rest(&rr, &params);
+    // Under transit priority the exit router's share must be lower than
+    // under round-robin (both relative to their group peers).
+    let share_prio = b_prio / rest_prio;
+    let share_rr = b_rr / rest_rr;
+    assert!(
+        share_prio < share_rr,
+        "transit priority must reduce the exit router's injection share: \
+         {share_prio:.3} (priority) vs {share_rr:.3} (round-robin)"
+    );
+}
+
+#[test]
+fn age_based_keeps_exit_router_close_to_peers() {
+    let params = DragonflyParams::figure1();
+    let age = adv1_min(ArbiterPolicy::AgeBased);
+    let (b, rest) = bottleneck_vs_rest(&age, &params);
+    let prio = adv1_min(ArbiterPolicy::TransitPriority);
+    let (bp, restp) = bottleneck_vs_rest(&prio, &params);
+    assert!(
+        b / rest > bp / restp,
+        "age arbitration should serve the exit router better than transit \
+         priority: {:.3} vs {:.3}",
+        b / rest,
+        bp / restp
+    );
+}
+
+#[test]
+fn arbitration_does_not_change_uniform_throughput_materially() {
+    // Under UN at moderate load the arbiter barely matters — accepted
+    // load must match offered for all three policies.
+    for arbiter in [
+        ArbiterPolicy::RoundRobin,
+        ArbiterPolicy::TransitPriority,
+        ArbiterPolicy::AgeBased,
+    ] {
+        let r = run_single(&tiny_config(
+            MechanismSpec::Min,
+            arbiter,
+            PatternSpec::Uniform,
+            0.3,
+        ));
+        assert!(
+            (r.throughput - 0.3).abs() < 0.03,
+            "{arbiter:?}: UN throughput {}",
+            r.throughput
+        );
+    }
+}
+
+#[test]
+fn congestion_signal_variants_all_deliver() {
+    use dragonfly_core::df_engine::{EngineConfig, Network, NullSink};
+    use dragonfly_core::df_routing::{CongestionSignal, GlobalMisrouting, InTransit};
+    use dragonfly_core::df_topology::{Arrangement, NodeId, Topology};
+
+    let params = DragonflyParams::figure1();
+    for signal in [
+        CongestionSignal::VcCredits,
+        CongestionSignal::OutputBuffer,
+        CongestionSignal::Combined,
+    ] {
+        let topo = Topology::new(params, Arrangement::Palmtree);
+        let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
+        let policy = InTransit::new(topo.clone(), &cfg, GlobalMisrouting::Mm, 5)
+            .with_signal(signal);
+        let mut net = Network::new(topo, cfg, policy, NullSink);
+        let mut pattern =
+            PatternSpec::AdvConsecutive { spread: None }.build(params, 11);
+        let mut offered = 0u64;
+        for _ in 0..400 {
+            for n in 0..params.nodes() {
+                if n % 3 == 0 {
+                    let src = NodeId(n);
+                    let dst = pattern.dest(src);
+                    if net.offer(src, dst) {
+                        offered += 1;
+                    }
+                }
+            }
+            net.step();
+        }
+        assert!(net.drain(200_000), "{signal:?} must drain");
+        assert_eq!(net.counters().delivered_packets, offered, "{signal:?}");
+    }
+}
+
+#[test]
+fn reevaluation_mode_delivers() {
+    use dragonfly_core::df_engine::{EngineConfig, Network, NullSink};
+    use dragonfly_core::df_routing::{GlobalMisrouting, InTransit};
+    use dragonfly_core::df_topology::{Arrangement, NodeId, Topology};
+
+    let params = DragonflyParams::figure1();
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
+    let policy = InTransit::new(topo.clone(), &cfg, GlobalMisrouting::Crg, 5)
+        .with_reevaluation(true);
+    let mut net = Network::new(topo, cfg, policy, NullSink);
+    let mut pattern = PatternSpec::Adversarial { offset: 1 }.build(params, 3);
+    let mut offered = 0u64;
+    for _ in 0..500 {
+        for n in (0..params.nodes()).step_by(2) {
+            let src = NodeId(n);
+            let dst = pattern.dest(src);
+            if net.offer(src, dst) {
+                offered += 1;
+            }
+        }
+        net.step();
+    }
+    assert!(net.drain(200_000));
+    assert_eq!(net.counters().delivered_packets, offered);
+}

@@ -1,0 +1,148 @@
+//! Analytical throughput bounds from the paper (§III): MIN routing is
+//! capped at `1/(a·p)` under ADV+1 and `h/(a·p)` under ADVc; non-minimal
+//! routing escapes both caps.
+
+use dragonfly_core::df_engine::ArbiterPolicy;
+use dragonfly_core::df_routing::MechanismSpec;
+use dragonfly_core::df_traffic::PatternSpec;
+use dragonfly_core::prelude::*;
+use integration_tests::tiny_config;
+
+#[test]
+fn min_capped_under_adv1() {
+    // figure1: a*p = 8 → cap 0.125 phits/node/cycle.
+    let cfg = tiny_config(
+        MechanismSpec::Min,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Adversarial { offset: 1 },
+        0.6,
+    );
+    let r = run_single(&cfg);
+    assert!(
+        r.throughput <= 0.125 * 1.15,
+        "ADV+1 MIN throughput {} above 1/(a*p) cap",
+        r.throughput
+    );
+}
+
+#[test]
+fn min_capped_under_advc_at_h_over_ap() {
+    // figure1: h=2, a*p=8 → cap 0.25; and ADVc must beat ADV+1 (less
+    // severe per §III).
+    let advc = run_single(&tiny_config(
+        MechanismSpec::Min,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::AdvConsecutive { spread: None },
+        0.6,
+    ));
+    let adv1 = run_single(&tiny_config(
+        MechanismSpec::Min,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Adversarial { offset: 1 },
+        0.6,
+    ));
+    assert!(
+        advc.throughput <= 0.25 * 1.15,
+        "ADVc MIN throughput {} above h/(a*p) cap",
+        advc.throughput
+    );
+    assert!(
+        advc.throughput > adv1.throughput * 1.3,
+        "ADVc ({}) must be less severe than ADV+1 ({}) under MIN",
+        advc.throughput,
+        adv1.throughput
+    );
+}
+
+#[test]
+fn valiant_escapes_the_adv_cap() {
+    let min = run_single(&tiny_config(
+        MechanismSpec::Min,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Adversarial { offset: 1 },
+        0.5,
+    ));
+    let val = run_single(&tiny_config(
+        MechanismSpec::ObliviousRrg,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Adversarial { offset: 1 },
+        0.5,
+    ));
+    assert!(
+        val.throughput > min.throughput * 1.5,
+        "Valiant ({}) must clearly beat MIN ({}) under ADV+1",
+        val.throughput,
+        min.throughput
+    );
+}
+
+#[test]
+fn uniform_min_latency_beats_valiant() {
+    // Under UN at low load, MIN's latency must be clearly below Valiant's
+    // (Valiant pays the double traversal).
+    let min = run_single(&tiny_config(
+        MechanismSpec::Min,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Uniform,
+        0.15,
+    ));
+    let val = run_single(&tiny_config(
+        MechanismSpec::ObliviousRrg,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Uniform,
+        0.15,
+    ));
+    assert!(
+        val.avg_latency > min.avg_latency * 1.3,
+        "Valiant latency {} should exceed MIN {} under UN",
+        val.avg_latency,
+        min.avg_latency
+    );
+    // Both accept the offered load at 0.15.
+    assert!((min.throughput - 0.15).abs() < 0.02);
+    assert!((val.throughput - 0.15).abs() < 0.02);
+}
+
+#[test]
+fn in_transit_matches_min_latency_at_low_uniform_load() {
+    // The adaptive mechanism must not misroute when the network is idle:
+    // its latency should sit near MIN's, not Valiant's.
+    let min = run_single(&tiny_config(
+        MechanismSpec::Min,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Uniform,
+        0.1,
+    ));
+    let int = run_single(&tiny_config(
+        MechanismSpec::InTransitMm,
+        ArbiterPolicy::TransitPriority,
+        PatternSpec::Uniform,
+        0.1,
+    ));
+    assert!(
+        (int.avg_latency - min.avg_latency).abs() < min.avg_latency * 0.1,
+        "in-transit ({}) should track MIN ({}) at low UN load",
+        int.avg_latency,
+        min.avg_latency
+    );
+}
+
+#[test]
+fn group_local_traffic_unaffected_by_mechanism() {
+    // Intra-group traffic never touches global links; every mechanism
+    // should accept it in full at moderate load.
+    for m in [MechanismSpec::Min, MechanismSpec::ObliviousCrg, MechanismSpec::InTransitMm] {
+        let r = run_single(&tiny_config(
+            m,
+            ArbiterPolicy::TransitPriority,
+            PatternSpec::GroupLocal,
+            0.3,
+        ));
+        assert!(
+            (r.throughput - 0.3).abs() < 0.03,
+            "{}: group-local throughput {}",
+            m.label(),
+            r.throughput
+        );
+    }
+}
