@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Run from the repository root.
+#
+# Mirrors the tier-1 verify (build + tests) and adds the documentation
+# and lint gates. Everything runs offline: all dependencies are vendored
+# path crates (see vendor/).
+set -euo pipefail
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps --workspace (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

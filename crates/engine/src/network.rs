@@ -411,8 +411,14 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         let mut in_budget = vec![self.cfg.speedup; radix];
         let mut out_budget = vec![self.cfg.speedup; radix];
         // VCs that already won this cycle cannot win again (their new head
-        // has not traversed the pipeline).
-        let mut vc_granted = vec![false; radix * 8];
+        // has not traversed the pipeline). Stride covers the widest VC
+        // count any port class is configured with.
+        let vc_stride = self
+            .cfg
+            .vcs_injection
+            .max(self.cfg.vcs_local)
+            .max(self.cfg.vcs_global) as usize;
+        let mut vc_granted = vec![false; radix * vc_stride];
 
         for _iter in 0..self.cfg.speedup {
             // --- Phase 1: each input port nominates one VC head. ---
@@ -428,7 +434,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 let mut nominated = None;
                 for k in 0..vcs {
                     let vc = ((start + k) % vcs) as usize;
-                    if vc_granted[in_port * 8 + vc] {
+                    if vc_granted[in_port * vc_stride + vc] {
                         continue;
                     }
                     // Decide routing for the head if needed.
@@ -501,7 +507,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 self.commit_grant(r, in_port as usize, vc as usize, out_port);
                 in_budget[in_port as usize] -= 1;
                 out_budget[out_port] -= 1;
-                vc_granted[in_port as usize * 8 + vc as usize] = true;
+                vc_granted[in_port as usize * vc_stride + vc as usize] = true;
                 // Advance the input port's RR pointer past the winner.
                 let vcs = self.routers[r].inputs[in_port as usize].len() as u32;
                 self.routers[r].in_rr[in_port as usize] = (vc as u32 + 1) % vcs;

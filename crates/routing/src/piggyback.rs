@@ -36,6 +36,9 @@ pub struct PiggyBack {
     /// Refreshed in [`RoutingPolicy::begin_cycle`]; read by every router
     /// of the owning group (the ECN share).
     global_saturated: Vec<bool>,
+    /// Scratch for one router's per-global-link queue lengths (length
+    /// `h`), reused across `begin_cycle` iterations.
+    queue_scratch: Vec<u32>,
     /// Threshold offsets in phits (Table I: T=5 local, T=3 global,
     /// converted from packets).
     t_global_phits: f64,
@@ -51,6 +54,7 @@ impl PiggyBack {
             flavor,
             rng: SmallRng::seed_from_u64(seed),
             global_saturated: vec![false; links],
+            queue_scratch: vec![0; topo.params().h as usize],
             t_global_phits: 3.0 * cfg.packet_size as f64,
             t_local_phits: 5.0 * cfg.packet_size as f64,
             topo,
@@ -110,16 +114,15 @@ impl RoutingPolicy for PiggyBack {
             // Queue of each global link of this router.
             let base = (router.id().0 * h) as usize;
             let mut sum = 0u32;
-            let mut qs = [0u32; 32];
             for j in 0..h {
                 let q = router.output_queue_phits(params.global_port(j));
-                qs[j as usize] = q;
+                self.queue_scratch[j as usize] = q;
                 sum += q;
             }
             let mean = sum as f64 / h as f64;
             for j in 0..h {
                 self.global_saturated[base + j as usize] =
-                    qs[j as usize] as f64 > 2.0 * mean + self.t_global_phits;
+                    f64::from(self.queue_scratch[j as usize]) > 2.0 * mean + self.t_global_phits;
             }
         }
     }

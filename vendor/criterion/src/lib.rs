@@ -1,0 +1,205 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple measurement loop: calibrate the iteration count to a target
+//! sample duration, take several samples, report the median ns/iteration.
+//!
+//! No statistical analysis, plots, or saved baselines. When the binary is
+//! invoked with `--test` (as `cargo test` does for harness-less bench
+//! targets), every benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point handed to every benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `--test`: run the body once, measure nothing.
+    Smoke,
+    Measure,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its timing.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Calibrate: grow the batch until it runs for ~5 ms.
+        let mut batch: u64 = 1;
+        let batch_target = Duration::from_millis(5);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= batch_target || batch >= 1 << 30 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch * 100
+            } else {
+                (batch * 2).max(
+                    (batch as u128 * batch_target.as_nanos() / elapsed.as_nanos().max(1))
+                        as u64,
+                )
+            };
+        }
+        // Measure.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        println!(
+            "{:<50} {:>12}/iter  [{} .. {}]  ({} samples of {batch})",
+            CURRENT.with(|c| c.borrow().clone()),
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter label.
+    pub fn new(function: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        Self { full: format!("{function}/{parameter}") }
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = if args.iter().any(|a| a == "--test") { Mode::Smoke } else { Mode::Measure };
+        // First free-standing argument (not a flag) filters by substring,
+        // as with real criterion / libtest.
+        let filter = args.into_iter().find(|a| !a.starts_with('-'));
+        Self { mode, filter, default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        CURRENT.with(|c| *c.borrow_mut() = id.to_string());
+        let mut b = Bencher { mode: self.mode, samples };
+        f(&mut b);
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&full, samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report formatting hook; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce the `main` function for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

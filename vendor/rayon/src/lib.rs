@@ -1,0 +1,141 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate, covering the one pattern this workspace uses:
+//!
+//! ```
+//! use rayon::prelude::*;
+//! let squares: Vec<u64> = [1u64, 2, 3].par_iter().map(|&x| x * x).collect();
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! ```
+//!
+//! Unlike a sequential shim, `collect` really fans the work out over
+//! `std::thread::scope`, with one contiguous chunk per available core —
+//! the multi-seed experiment sweeps in `dragonfly-core` are embarrassingly
+//! parallel, so static chunking recovers most of real rayon's benefit
+//! without a work-stealing pool.
+
+/// The traits to import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types that can produce a parallel iterator over `&Item`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type iterated by reference.
+    type Item: 'a;
+    /// A parallel iterator over the collection's elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator (slice-backed).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map over all elements — in parallel when more than one core
+    /// and more than one element are available — preserving input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let items = self.items;
+        std::thread::scope(|scope| {
+            for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let start = w * chunk;
+                scope.spawn(move || {
+                    for (k, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = Some(f(&items[start + k]));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker thread filled every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_arrays_and_empty_input() {
+        let out: Vec<u32> = [1u32, 2, 3].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<u32> = Vec::<u32>::new().par_iter().map(|&x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let _out: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if cores > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "expected parallel execution");
+        }
+    }
+}

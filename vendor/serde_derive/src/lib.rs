@@ -1,0 +1,635 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree model of the sibling `serde` crate, with a hand-rolled token
+//! parser (the real `syn`/`quote` stack is unavailable offline).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit, newtype/tuple, and struct variants,
+//! * container attributes `#[serde(rename_all = "snake_case" |
+//!   "kebab-case")]` and `#[serde(tag = "...")]` (internally tagged
+//!   enums).
+//!
+//! Generics and field-level attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if ser { gen_serialize(&parsed) } else { gen_deserialize(&parsed) };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("serde_derive produced invalid code: {e}")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// `#[serde(tag = "...")]` — internally tagged enum.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "...")]` — variant-name convention.
+    rename_all: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut tag = None;
+    let mut rename_all = None;
+
+    let mut i = 0;
+    // Attributes and visibility precede the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("serde_derive: no struct or enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_attr(&g.stream(), &mut tag, &mut rename_all)?;
+                    i += 2;
+                } else {
+                    return Err("serde_derive: stray `#`".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break id.to_string();
+            }
+            _ => i += 1, // visibility tokens, `pub(crate)` groups, etc.
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde_derive: generic type `{name}` is not supported"));
+        }
+    }
+
+    let data = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            other => {
+                return Err(format!("serde_derive: unsupported struct body: {other:?}"));
+            }
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream())?)
+            }
+            other => return Err(format!("serde_derive: expected enum body, got {other:?}")),
+        }
+    };
+
+    Ok(Input { name, tag, rename_all, data })
+}
+
+/// Parse the bracketed contents of one attribute, recording serde metas.
+fn parse_attr(
+    stream: &TokenStream,
+    tag: &mut Option<String>,
+    rename_all: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let metas: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < metas.len() {
+                let key = match &metas[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("serde_derive: bad serde meta {other:?}")),
+                };
+                match (metas.get(j + 1), metas.get(j + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let value = unquote(&lit.to_string())?;
+                        match key.as_str() {
+                            "tag" => *tag = Some(value),
+                            "rename_all" => *rename_all = Some(value),
+                            other => {
+                                return Err(format!(
+                                    "serde_derive: unsupported serde attribute `{other}`"
+                                ));
+                            }
+                        }
+                        j += 3;
+                    }
+                    _ => {
+                        return Err(format!(
+                            "serde_derive: unsupported serde attribute form at `{key}`"
+                        ));
+                    }
+                }
+                if let Some(TokenTree::Punct(p)) = metas.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()), // non-serde attribute (doc comment etc.)
+    }
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("serde_derive: expected string literal, got {lit}"))
+    }
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!("serde_derive: expected `:` after `{name}`, got {other:?}"));
+            }
+        }
+        // Skip the type up to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body (struct or variant).
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Name conventions
+// ---------------------------------------------------------------------
+
+fn apply_rename(name: &str, convention: Option<&str>) -> String {
+    match convention {
+        None => name.to_string(),
+        Some("snake_case") => casify(name, '_'),
+        Some("kebab-case") => casify(name, '-'),
+        Some(other) => panic!("serde_derive: unsupported rename_all convention {other:?}"),
+    }
+}
+
+fn casify(name: &str, sep: char) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => gen_serialize_enum(input, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = apply_rename(vname, input.rename_all.as_deref());
+        let arm = if let Some(tag) = &input.tag {
+            // Internally tagged: variant fields flattened next to the tag.
+            match &v.fields {
+                VariantFields::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({tag:?}), \
+                      ::serde::Value::Str(::std::string::String::from({wire:?})))])"
+                ),
+                VariantFields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let mut entries = vec![format!(
+                        "(::std::string::String::from({tag:?}), \
+                         ::serde::Value::Str(::std::string::String::from({wire:?})))"
+                    )];
+                    entries.extend(fields.iter().map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    }));
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => \
+                         ::serde::Value::Map(::std::vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+                VariantFields::Tuple(_) => panic!(
+                    "serde_derive: tuple variant {name}::{vname} cannot be internally tagged"
+                ),
+            }
+        } else {
+            // Externally tagged.
+            match &v.fields {
+                VariantFields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from({wire:?}))"
+                ),
+                VariantFields::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({wire:?}), \
+                      ::serde::Serialize::to_value(f0))])"
+                ),
+                VariantFields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({wire:?}), \
+                          ::serde::Value::Seq(::std::vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantFields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({wire:?}), \
+                          ::serde::Value::Map(::std::vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?}))?")
+                })
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                         ::core::result::Result::Ok({name}({})),\n\
+                     other => ::core::result::Result::Err(\
+                         ::serde::Error::unexpected(\"array of length {n}\", other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => gen_deserialize_enum(input, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    if let Some(tag) = &input.tag {
+        let mut arms = Vec::new();
+        for v in variants {
+            let vname = &v.name;
+            let wire = apply_rename(vname, input.rename_all.as_deref());
+            let arm = match &v.fields {
+                VariantFields::Unit => {
+                    format!("{wire:?} => ::core::result::Result::Ok({name}::{vname})")
+                }
+                VariantFields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(v.get_field({f:?}))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{wire:?} => ::core::result::Result::Ok({name}::{vname} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                VariantFields::Tuple(_) => panic!(
+                    "serde_derive: tuple variant {name}::{vname} cannot be internally tagged"
+                ),
+            };
+            arms.push(arm);
+        }
+        return format!(
+            "match v.tag_str({tag:?})? {{\n\
+                 {},\n\
+                 other => ::core::result::Result::Err(::serde::Error(\
+                     ::std::format!(\"unknown {name} variant {{other}}\"))),\n\
+             }}",
+            arms.join(",\n")
+        );
+    }
+
+    // Externally tagged.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            let wire = apply_rename(&v.name, input.rename_all.as_deref());
+            format!(
+                "{wire:?} => ::core::result::Result::Ok({name}::{vn})",
+                vn = v.name
+            )
+        })
+        .collect();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = apply_rename(vname, input.rename_all.as_deref());
+        match &v.fields {
+            VariantFields::Unit => {}
+            VariantFields::Tuple(1) => data_arms.push(format!(
+                "{wire:?} => ::core::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+            )),
+            VariantFields::Tuple(n) => data_arms.push(format!(
+                "{wire:?} => match inner {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                         ::core::result::Result::Ok({name}::{vname}({inits})),\n\
+                     other => ::core::result::Result::Err(\
+                         ::serde::Error::unexpected(\"array of length {n}\", other)),\n\
+                 }}",
+                inits = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+            VariantFields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.get_field({f:?}))?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "{wire:?} => ::core::result::Result::Ok({name}::{vname} {{ {} }})",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+
+    let mut outer_arms = Vec::new();
+    if !unit_arms.is_empty() {
+        outer_arms.push(format!(
+            "::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {},\n\
+                 other => ::core::result::Result::Err(::serde::Error(\
+                     ::std::format!(\"unknown {name} variant {{other}}\"))),\n\
+             }}",
+            unit_arms.join(",\n")
+        ));
+    }
+    if !data_arms.is_empty() {
+        outer_arms.push(format!(
+            "m @ ::serde::Value::Map(_) => {{\n\
+                 let (key, inner) = m.single_entry()?;\n\
+                 match key {{\n\
+                     {},\n\
+                     other => ::core::result::Result::Err(::serde::Error(\
+                         ::std::format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }}\n\
+             }}",
+            data_arms.join(",\n")
+        ));
+    }
+    outer_arms.push(format!(
+        "other => ::core::result::Result::Err(\
+         ::serde::Error::unexpected(\"enum {name}\", other))"
+    ));
+    format!("match v {{ {} }}", outer_arms.join(",\n"))
+}
