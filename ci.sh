@@ -18,4 +18,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+
+echo "==> scenario smoke run (reduced cycles)"
+cargo run --release -p df-bench --bin scenario -- --quick \
+    scenarios/interference_advc_vs_uniform.json > /dev/null
+
+echo "==> criterion benches in --test mode (each body runs once)"
+cargo bench -p df-bench -- --test
+
 echo "CI gate passed."

@@ -36,7 +36,11 @@ fn bench_traffic(c: &mut Criterion) {
 
     c.bench_function("traffic/bernoulli_fire", |b| {
         let mut inj = BernoulliInjector::new(0.4, 8, 4);
-        b.iter(|| black_box(inj.fire()))
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % params.nodes();
+            black_box(inj.fire(n))
+        })
     });
 }
 

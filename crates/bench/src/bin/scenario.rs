@@ -1,0 +1,176 @@
+//! Scenario runner CLI: load a multi-job scenario from JSON, run it under
+//! every mechanism it names (rayon over mechanism × seed), and emit
+//! per-job and per-router throughput/latency/fairness results.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin scenario -- scenarios/interference_advc_vs_uniform.json
+//! cargo run --release -p df-bench --bin scenario -- --quick scenarios/paper_job_anatomy.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--seeds N` — seeds to average (default 3),
+//! * `--quick` — single seed and a reduced cycle budget (CI smoke),
+//! * `--out PATH` — write the full result (including per-seed runs) as JSON,
+//! * `--record-trace PATH` — additionally record the generation stream of
+//!   the first mechanism × first seed as a replayable JSON trace.
+//!
+//! The seed-averaged summary is always printed to stdout as JSON (after
+//! the human-readable tables), so downstream tooling can consume the run
+//! without extra flags.
+
+use df_bench::write_json;
+use dragonfly_core::prelude::*;
+use std::path::PathBuf;
+
+struct Args {
+    scenario: String,
+    seeds: Vec<u64>,
+    quick: bool,
+    out: Option<PathBuf>,
+    record_trace: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: scenario [--seeds N] [--quick] [--out PATH] [--record-trace PATH] SCENARIO.json"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenario: String::new(),
+        seeds: Vec::new(),
+        quick: false,
+        out: None,
+        record_trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--seeds needs a positive number"));
+                args.seeds = (0..n).map(|i| DEFAULT_SEEDS[0] + i * 31).collect();
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--out needs a path")),
+                ));
+            }
+            "--record-trace" => {
+                args.record_trace =
+                    Some(it.next().unwrap_or_else(|| die("--record-trace needs a path")));
+            }
+            other if !other.starts_with('-') && args.scenario.is_empty() => {
+                args.scenario = other.to_string();
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.scenario.is_empty() {
+        die("missing scenario file");
+    }
+    // Seed defaulting is order-independent: --quick only trims the seed
+    // set when --seeds was not given explicitly.
+    if args.seeds.is_empty() {
+        args.seeds =
+            if args.quick { vec![DEFAULT_SEEDS[0]] } else { DEFAULT_SEEDS.to_vec() };
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = ScenarioSpec::load(&args.scenario).unwrap_or_else(|e| die(&e));
+    if args.quick {
+        spec.warmup_cycles = spec.warmup_cycles.min(2_000);
+        spec.measure_cycles = spec.measure_cycles.min(4_000);
+    }
+    spec.validate(args.seeds[0]).unwrap_or_else(|e| die(&e));
+
+    eprintln!(
+        "scenario `{}`: {} nodes, {} jobs, {} mechanisms, {} seeds, {}+{} cycles",
+        spec.name,
+        spec.params.nodes(),
+        spec.jobs.len(),
+        spec.mechanisms.len(),
+        args.seeds.len(),
+        spec.warmup_cycles,
+        spec.measure_cycles,
+    );
+    for job in &spec.jobs {
+        eprintln!(
+            "  job `{}`: {} pattern, {} injection, load {}",
+            job.name,
+            job.pattern.label(),
+            job.injection.label(),
+            job.load
+        );
+    }
+
+    if let Some(path) = &args.record_trace {
+        // One recorder per job: each job's stream replays independently
+        // through `InjectionSpec::Trace`. Multi-job scenarios get one
+        // trace file per job (`PATH.jobN.json`).
+        let mut recorders = vec![TraceRecorder::new(); spec.jobs.len()];
+        run_scenario_once(&spec, spec.mechanisms[0], args.seeds[0], Some(&mut recorders))
+            .unwrap_or_else(|e| die(&e));
+        for (j, recorder) in recorders.iter().enumerate() {
+            let job_path = if recorders.len() == 1 {
+                path.clone()
+            } else {
+                format!("{path}.job{j}.json")
+            };
+            recorder.save(&job_path).unwrap_or_else(|e| die(&e));
+            eprintln!(
+                "recorded {} events of job `{}` under {} to {job_path}",
+                recorder.events().len(),
+                spec.jobs[j].name,
+                spec.mechanisms[0].label(),
+            );
+        }
+    }
+
+    let result = run_scenario(&spec, &args.seeds).unwrap_or_else(|e| die(&e));
+
+    for m in &result.mechanisms {
+        println!("\n== {} ==", m.mechanism);
+        println!(
+            "  network: accepted {:.4} phits/node/cycle, latency {:.1} cycles, router CoV {:.4}",
+            m.throughput, m.avg_latency, m.router_cov
+        );
+        println!(
+            "  {:>12} {:>6} {:>9} {:>9} {:>10} {:>9} {:>9} {:>8}",
+            "job", "nodes", "offered", "accepted", "latency", "min inj", "max/min", "CoV"
+        );
+        for j in &m.per_job {
+            println!(
+                "  {:>12} {:>6} {:>9.4} {:>9.4} {:>10.1} {:>9.1} {:>9.2} {:>8.4}",
+                j.job,
+                j.nodes,
+                j.offered,
+                j.throughput,
+                j.avg_latency,
+                j.min_injections,
+                j.max_min_ratio,
+                j.cov
+            );
+        }
+    }
+
+    if let Some(out) = &args.out {
+        write_json(out, &result);
+    }
+
+    println!(
+        "\n{}",
+        serde_json::to_string_pretty(&result.summary()).expect("serialize summary")
+    );
+}

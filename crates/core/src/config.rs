@@ -102,15 +102,9 @@ impl SimConfig {
     }
 }
 
-/// Derive sub-seeds from a master seed (splitmix64 steps) so each RNG
-/// consumer gets an independent stream.
-pub(crate) fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+// Sub-seed derivation now lives in `df-traffic` so the traffic and
+// workload crates can share the same per-node stream discipline.
+pub(crate) use df_traffic::derive_seed;
 
 #[cfg(test)]
 mod tests {

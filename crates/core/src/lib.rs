@@ -38,6 +38,7 @@
 
 mod config;
 mod experiment;
+mod scenario;
 mod sim;
 mod sink;
 
@@ -45,8 +46,12 @@ pub use config::SimConfig;
 pub use experiment::{
     run_averaged, standard_load_grid, sweep_loads, AveragedResult, DEFAULT_SEEDS,
 };
-pub use sim::{run_single, RunResult, Simulator};
-pub use sink::MeasurementSink;
+pub use scenario::{
+    run_scenario, run_scenario_once, JobSummary, MechanismScenarioResult, MechanismSummary,
+    ScenarioResult, ScenarioSummary,
+};
+pub use sim::{run_single, JobResult, RunResult, Simulator};
+pub use sink::{JobAccumulator, MeasurementSink};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
@@ -55,12 +60,14 @@ pub use df_routing;
 pub use df_stats;
 pub use df_topology;
 pub use df_traffic;
+pub use df_workload;
 
 /// Everything needed for typical experiment scripts.
 pub mod prelude {
     pub use crate::{
-        run_averaged, run_single, standard_load_grid, sweep_loads, AveragedResult,
-        MeasurementSink, RunResult, SimConfig, Simulator, DEFAULT_SEEDS,
+        run_averaged, run_scenario, run_scenario_once, run_single, standard_load_grid,
+        sweep_loads, AveragedResult, JobResult, MeasurementSink, RunResult, ScenarioResult,
+        SimConfig, Simulator, DEFAULT_SEEDS,
     };
     pub use df_engine::{ArbiterPolicy, EngineConfig};
     pub use df_routing::MechanismSpec;
@@ -69,4 +76,7 @@ pub mod prelude {
         Arrangement, DragonflyParams, GroupId, NodeId, Port, RouterId, Topology,
     };
     pub use df_traffic::PatternSpec;
+    pub use df_workload::{
+        InjectionSpec, JobSpec, PlacementSpec, ScenarioSpec, TraceRecorder,
+    };
 }

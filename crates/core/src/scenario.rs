@@ -1,0 +1,398 @@
+//! The scenario runner: drive the simulator's per-node injection path
+//! from a [`ScenarioSpec`]'s jobs and report per-job and per-router
+//! results under every requested mechanism.
+
+use crate::config::{derive_seed, SimConfig};
+use crate::sim::{JobResult, RunResult, Simulator};
+use df_routing::MechanismSpec;
+use df_traffic::{PatternSpec, Traffic};
+use df_workload::{
+    Arrival, InjectionProcess, InjectionSpec, JobTraffic, JobTrafficAdapter, ScenarioSpec,
+    TraceRecorder,
+};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Seed-averaged per-job summary (fairness metrics averaged per seed,
+/// like the paper's three-simulation averages).
+#[derive(Debug, Clone, Serialize)]
+pub struct JobSummary {
+    /// Job name.
+    pub job: String,
+    /// Nodes the job occupies.
+    pub nodes: u32,
+    /// Mean offered load in phits/(job node·cycle).
+    pub offered: f64,
+    /// Mean accepted throughput in phits/(job node·cycle).
+    pub throughput: f64,
+    /// Mean packet latency in cycles.
+    pub avg_latency: f64,
+    /// Mean of the per-seed minimum per-node injection counts.
+    pub min_injections: f64,
+    /// Mean per-node injection max/min ratio.
+    pub max_min_ratio: f64,
+    /// Mean per-node injection coefficient of variation.
+    pub cov: f64,
+    /// Mean Jain index over per-node injections.
+    pub jain: f64,
+}
+
+impl JobSummary {
+    fn average(per_seed: &[&JobResult]) -> Self {
+        let n = per_seed.len() as f64;
+        let mean = |f: &dyn Fn(&JobResult) -> f64| per_seed.iter().map(|r| f(r)).sum::<f64>() / n;
+        Self {
+            job: per_seed[0].job.clone(),
+            nodes: per_seed[0].nodes,
+            offered: mean(&|r| r.offered),
+            throughput: mean(&|r| r.throughput),
+            avg_latency: mean(&|r| r.avg_latency),
+            min_injections: mean(&|r| r.fairness.min),
+            max_min_ratio: mean(&|r| r.fairness.max_min_ratio),
+            cov: mean(&|r| r.fairness.cov),
+            jain: mean(&|r| r.fairness.jain),
+        }
+    }
+}
+
+/// One mechanism's view of the scenario: per-seed runs plus seed-averaged
+/// per-job and per-router summaries.
+#[derive(Debug, Clone, Serialize)]
+pub struct MechanismScenarioResult {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Mean network-wide accepted throughput in phits/(node·cycle).
+    pub throughput: f64,
+    /// Mean network-wide packet latency in cycles.
+    pub avg_latency: f64,
+    /// Mean per-router injection CoV (Table II/III metric).
+    pub router_cov: f64,
+    /// Seed-averaged per-job summaries.
+    pub per_job: Vec<JobSummary>,
+    /// The raw per-seed runs (each with its own `per_job` breakdown).
+    pub runs: Vec<RunResult>,
+}
+
+/// Full scenario outcome across mechanisms.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seeds simulated per mechanism.
+    pub seeds: Vec<u64>,
+    /// One entry per requested mechanism, in spec order.
+    pub mechanisms: Vec<MechanismScenarioResult>,
+}
+
+/// Compact mechanism summary (no raw runs) for stdout JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct MechanismSummary {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Mean network-wide accepted throughput.
+    pub throughput: f64,
+    /// Mean network-wide latency.
+    pub avg_latency: f64,
+    /// Mean per-router injection CoV.
+    pub router_cov: f64,
+    /// Seed-averaged per-job summaries.
+    pub per_job: Vec<JobSummary>,
+}
+
+/// Compact scenario summary (no raw runs).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seeds simulated per mechanism.
+    pub seeds: Vec<u64>,
+    /// Per-mechanism summaries.
+    pub mechanisms: Vec<MechanismSummary>,
+}
+
+impl ScenarioResult {
+    /// Strip the raw runs, keeping the seed-averaged summaries.
+    pub fn summary(&self) -> ScenarioSummary {
+        ScenarioSummary {
+            scenario: self.scenario.clone(),
+            seeds: self.seeds.clone(),
+            mechanisms: self
+                .mechanisms
+                .iter()
+                .map(|m| MechanismSummary {
+                    mechanism: m.mechanism.clone(),
+                    throughput: m.throughput,
+                    avg_latency: m.avg_latency,
+                    router_cov: m.router_cov,
+                    per_job: m.per_job.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-job live state inside the driver loop.
+struct JobDriver {
+    process: Box<dyn InjectionProcess>,
+    /// `None` for trace jobs (destinations come with the events).
+    traffic: Option<JobTrafficAdapter>,
+}
+
+/// Run one scenario under one mechanism and one seed, optionally
+/// recording every generation event into `recorders` (one recorder per
+/// job, so each job's stream replays independently through
+/// `InjectionSpec::Trace`).
+///
+/// # Panics
+/// Panics if `recorders` is provided with a length other than the
+/// scenario's job count.
+pub fn run_scenario_once(
+    spec: &ScenarioSpec,
+    mechanism: MechanismSpec,
+    seed: u64,
+    mut recorders: Option<&mut [TraceRecorder]>,
+) -> Result<RunResult, String> {
+    spec.validate(seed)?;
+    if let Some(recs) = recorders.as_deref() {
+        assert_eq!(recs.len(), spec.jobs.len(), "one trace recorder per job");
+    }
+    let cfg = SimConfig {
+        params: spec.params,
+        arrangement: spec.arrangement,
+        mechanism,
+        arbiter: spec.arbiter,
+        // Placeholder; generation is driven by the jobs below.
+        pattern: PatternSpec::Uniform,
+        load: 0.0,
+        warmup_cycles: spec.warmup_cycles,
+        measure_cycles: spec.measure_cycles,
+        seed,
+    };
+    let packet_size = cfg.engine_config().packet_size;
+    let mut sim = Simulator::new(&cfg);
+
+    let placements = spec.resolve_placements(seed)?;
+    let mut drivers = Vec::with_capacity(spec.jobs.len());
+    let mut job_nodes = Vec::with_capacity(spec.jobs.len());
+    for (j, (job, placement)) in spec.jobs.iter().zip(placements).enumerate() {
+        let traffic = match job.injection {
+            InjectionSpec::Trace { .. } => None,
+            _ => Some(JobTrafficAdapter::new(
+                JobTraffic::new(
+                    &job.pattern,
+                    &placement,
+                    &spec.params,
+                    derive_seed(seed, 0x100 + j as u64),
+                )
+                .map_err(|e| format!("job `{}`: {e}", job.name))?,
+                &spec.params,
+            )),
+        };
+        let process = job
+            .injection
+            .build(
+                placement.nodes.clone(),
+                job.load,
+                packet_size,
+                derive_seed(seed, 0x200 + j as u64),
+            )
+            .map_err(|e| format!("job `{}`: {e}", job.name))?;
+        drivers.push(JobDriver { process, traffic });
+        job_nodes.push((job.name.clone(), placement.nodes));
+    }
+    sim.set_jobs(job_nodes);
+
+    let total_cycles = spec.warmup_cycles + spec.measure_cycles;
+    let n_nodes = spec.params.nodes();
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    for t in 0..total_cycles {
+        if t == spec.warmup_cycles {
+            sim.begin_measurement();
+        }
+        for (j, driver) in drivers.iter_mut().enumerate() {
+            if !spec.jobs[j].active(t) {
+                continue;
+            }
+            arrivals.clear();
+            driver.process.arrivals(t, &mut arrivals);
+            for arr in &arrivals {
+                let dst = match (arr.dst, driver.traffic.as_mut()) {
+                    (Some(dst), _) => dst,
+                    (None, Some(traffic)) => traffic.dest(arr.src),
+                    (None, None) => unreachable!("rate process without a pattern"),
+                };
+                if arr.src.0 >= n_nodes || dst.0 >= n_nodes {
+                    return Err(format!(
+                        "job `{}` generated out-of-range packet {} -> {}",
+                        spec.jobs[j].name, arr.src.0, dst.0
+                    ));
+                }
+                if let Some(recs) = recorders.as_deref_mut() {
+                    recs[j].record(t, arr.src, dst);
+                }
+                sim.offer_for_job(j, arr.src, dst);
+            }
+        }
+        sim.step_network();
+    }
+
+    let mut result = sim.finish();
+    result.pattern = format!("scenario:{}", spec.name);
+    // Network-equivalent configured load: job loads weighted by node share.
+    result.load = spec
+        .jobs
+        .iter()
+        .map(|j| j.load)
+        .zip(result.per_job.iter().map(|j| j.nodes as f64))
+        .map(|(load, nodes)| load * nodes)
+        .sum::<f64>()
+        / n_nodes as f64;
+    Ok(result)
+}
+
+/// Run the scenario under every mechanism × seed (in parallel) and
+/// aggregate.
+pub fn run_scenario(spec: &ScenarioSpec, seeds: &[u64]) -> Result<ScenarioResult, String> {
+    if seeds.is_empty() {
+        return Err("need at least one seed".into());
+    }
+    let cells: Vec<(MechanismSpec, u64)> = spec
+        .mechanisms
+        .iter()
+        .flat_map(|&m| seeds.iter().map(move |&s| (m, s)))
+        .collect();
+    let runs: Vec<Result<RunResult, String>> = cells
+        .par_iter()
+        .map(|&(m, s)| run_scenario_once(spec, m, s, None))
+        .collect();
+    let mut by_mechanism = Vec::new();
+    let mut it = runs.into_iter();
+    for &m in &spec.mechanisms {
+        let mech_runs: Vec<RunResult> =
+            seeds.iter().map(|_| it.next().expect("cell per seed")).collect::<Result<_, _>>()?;
+        let n = mech_runs.len() as f64;
+        let per_job = (0..spec.jobs.len())
+            .map(|j| {
+                let per_seed: Vec<&JobResult> =
+                    mech_runs.iter().map(|r| &r.per_job[j]).collect();
+                JobSummary::average(&per_seed)
+            })
+            .collect();
+        by_mechanism.push(MechanismScenarioResult {
+            mechanism: m.label().to_string(),
+            throughput: mech_runs.iter().map(|r| r.throughput).sum::<f64>() / n,
+            avg_latency: mech_runs.iter().map(|r| r.avg_latency).sum::<f64>() / n,
+            router_cov: mech_runs.iter().map(|r| r.fairness.cov).sum::<f64>() / n,
+            per_job,
+            runs: mech_runs,
+        });
+    }
+    Ok(ScenarioResult {
+        scenario: spec.name.clone(),
+        seeds: seeds.to_vec(),
+        mechanisms: by_mechanism,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_engine::ArbiterPolicy;
+    use df_topology::{Arrangement, DragonflyParams};
+    use df_workload::{JobSpec, PlacementSpec};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".into(),
+            params: DragonflyParams::figure1(),
+            arrangement: Arrangement::Palmtree,
+            mechanisms: vec![MechanismSpec::InTransitMm],
+            arbiter: ArbiterPolicy::TransitPriority,
+            warmup_cycles: 1_000,
+            measure_cycles: 2_000,
+            jobs: vec![
+                JobSpec {
+                    name: "anatomy".into(),
+                    placement: PlacementSpec::ConsecutiveGroups {
+                        first: 0,
+                        count: 3,
+                        slots: None,
+                    },
+                    pattern: PatternSpec::Uniform,
+                    injection: InjectionSpec::Bernoulli,
+                    load: 0.3,
+                    start_cycle: None,
+                    stop_cycle: None,
+                },
+                JobSpec {
+                    name: "late".into(),
+                    placement: PlacementSpec::ConsecutiveGroups {
+                        first: 5,
+                        count: 2,
+                        slots: None,
+                    },
+                    pattern: PatternSpec::GroupLocal,
+                    injection: InjectionSpec::OnOff { mean_burst: 30.0, mean_idle: 30.0 },
+                    load: 0.2,
+                    start_cycle: Some(1_500),
+                    stop_cycle: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn scenario_produces_per_job_breakdown() {
+        let r = run_scenario_once(&tiny_spec(), MechanismSpec::InTransitMm, 1, None).unwrap();
+        assert_eq!(r.per_job.len(), 2);
+        assert_eq!(r.per_job[0].job, "anatomy");
+        assert!(r.per_job[0].throughput > 0.1, "{}", r.per_job[0].throughput);
+        assert!(r.per_job[1].throughput > 0.0);
+        assert!(r.per_job[0].avg_latency > 100.0);
+        // Only the two jobs inject; network totals must bound job totals.
+        assert!(r.throughput <= r.per_job[0].throughput + r.per_job[1].throughput);
+        assert!(r.pattern.contains("tiny"));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let spec = tiny_spec();
+        let a = run_scenario_once(&spec, MechanismSpec::InTransitMm, 7, None).unwrap();
+        let b = run_scenario_once(&spec, MechanismSpec::InTransitMm, 7, None).unwrap();
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+        assert_eq!(a.injected_per_router, b.injected_per_router);
+        for (x, y) in a.per_job.iter().zip(&b.per_job) {
+            assert_eq!(x.throughput, y.throughput);
+            assert_eq!(x.avg_latency, y.avg_latency);
+            assert_eq!(x.delivered_packets, y.delivered_packets);
+        }
+    }
+
+    #[test]
+    fn job_lifetimes_gate_generation() {
+        let mut spec = tiny_spec();
+        // Stop the first job before the window; it must deliver ~nothing
+        // during measurement.
+        spec.jobs[0].stop_cycle = Some(200);
+        spec.jobs[1].start_cycle = None;
+        let r = run_scenario_once(&spec, MechanismSpec::InTransitMm, 1, None).unwrap();
+        assert_eq!(r.per_job[0].offered, 0.0);
+        assert!(r.per_job[0].delivered_packets < 5);
+        assert!(r.per_job[1].delivered_packets > 100);
+    }
+
+    #[test]
+    fn aggregation_averages_across_seeds() {
+        let mut spec = tiny_spec();
+        spec.jobs.truncate(1);
+        let out = run_scenario(&spec, &[1, 2]).unwrap();
+        assert_eq!(out.mechanisms.len(), 1);
+        let m = &out.mechanisms[0];
+        assert_eq!(m.runs.len(), 2);
+        assert_eq!(m.per_job.len(), 1);
+        let mean = (m.runs[0].per_job[0].throughput + m.runs[1].per_job[0].throughput) / 2.0;
+        assert!((m.per_job[0].throughput - mean).abs() < 1e-12);
+        let summary = out.summary();
+        assert_eq!(summary.mechanisms[0].per_job.len(), 1);
+    }
+}

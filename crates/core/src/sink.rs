@@ -1,8 +1,29 @@
 //! The stats sink wired into the engine: aggregates delivered packets
-//! into the `df-stats` accumulators, with a warm-up gate.
+//! into the `df-stats` accumulators, with a warm-up gate and an optional
+//! node→job attribution for multi-job scenarios.
 
 use df_engine::{DeliveredRecord, StatsSink};
 use df_stats::{Histogram, LatencyAccumulator};
+
+/// Job index meaning "not attributed to any job".
+const NO_JOB: u32 = u32::MAX;
+
+/// Per-job measurement slice of the sink.
+#[derive(Debug, Clone)]
+pub struct JobAccumulator {
+    /// Latency breakdown of packets sourced by this job's nodes.
+    pub latency: LatencyAccumulator,
+    /// Packets delivered for this job during the window.
+    pub delivered_packets: u64,
+    /// Phits delivered for this job during the window.
+    pub delivered_phits: u64,
+}
+
+impl JobAccumulator {
+    fn new() -> Self {
+        Self { latency: LatencyAccumulator::new(), delivered_packets: 0, delivered_phits: 0 }
+    }
+}
 
 /// Aggregating sink. Inactive during warm-up; activated at the start of
 /// the measurement window.
@@ -14,23 +35,65 @@ pub struct MeasurementSink {
     pub latency: LatencyAccumulator,
     /// End-to-end latency histogram (50-cycle bins up to 10,000 cycles).
     pub histogram: Histogram,
+    /// `node → job index` attribution map (empty when no jobs are set).
+    node_job: Vec<u32>,
+    /// Per-job accumulators.
+    jobs: Vec<JobAccumulator>,
 }
 
 impl MeasurementSink {
-    /// Inactive sink with empty accumulators.
+    /// Inactive sink with empty accumulators and no job attribution.
     pub fn new() -> Self {
         Self {
             active: false,
             latency: LatencyAccumulator::new(),
             histogram: Histogram::new(50, 200),
+            node_job: Vec::new(),
+            jobs: Vec::new(),
         }
     }
+
+    /// Inactive sink attributing each node to a job via `node_job`
+    /// (use [`MeasurementSink::NO_JOB`] — `u32::MAX` — for unowned nodes).
+    ///
+    /// # Panics
+    /// Panics if an entry names a job `>= n_jobs`.
+    pub fn with_jobs(node_job: Vec<u32>, n_jobs: usize) -> Self {
+        assert!(
+            node_job.iter().all(|&j| j == NO_JOB || (j as usize) < n_jobs),
+            "node_job entry out of range"
+        );
+        Self {
+            node_job,
+            jobs: (0..n_jobs).map(|_| JobAccumulator::new()).collect(),
+            ..Self::new()
+        }
+    }
+
+    /// The sentinel marking a node that belongs to no job.
+    pub const NO_JOB: u32 = NO_JOB;
 
     /// Clear accumulators and start measuring.
     pub fn start_measurement(&mut self) {
         self.latency = LatencyAccumulator::new();
         self.histogram = Histogram::new(50, 200);
+        for j in &mut self.jobs {
+            *j = JobAccumulator::new();
+        }
         self.active = true;
+    }
+
+    /// Per-job accumulators (one per job passed to `with_jobs`).
+    pub fn jobs(&self) -> &[JobAccumulator] {
+        &self.jobs
+    }
+
+    /// The job owning `node`, if any.
+    pub fn job_of(&self, node: usize) -> Option<u32> {
+        match self.node_job.get(node) {
+            Some(&j) if j != NO_JOB => Some(j),
+            _ => None,
+        }
     }
 }
 
@@ -53,6 +116,18 @@ impl StatsSink for MeasurementSink {
             rec.waits.global,
         );
         self.histogram.add(rec.latency());
+        if let Some(j) = self.job_of(rec.header.src.idx()) {
+            let job = &mut self.jobs[j as usize];
+            job.latency.add(
+                rec.min_traversal,
+                rec.misroute_latency(),
+                rec.waits.injection,
+                rec.waits.local,
+                rec.waits.global,
+            );
+            job.delivered_packets += 1;
+            job.delivered_phits += rec.header.size as u64;
+        }
     }
 }
 
@@ -63,9 +138,19 @@ mod tests {
     use df_topology::NodeId;
 
     fn rec(latency_parts: (u64, u64, u64, u64, u64)) -> DeliveredRecord {
+        rec_from(0, latency_parts)
+    }
+
+    fn rec_from(src: u32, latency_parts: (u64, u64, u64, u64, u64)) -> DeliveredRecord {
         let (base, mis, inj, loc, glob) = latency_parts;
         DeliveredRecord {
-            header: PacketHeader { id: 0, src: NodeId(0), dst: NodeId(1), size: 8, gen_cycle: 0 },
+            header: PacketHeader {
+                id: 0,
+                src: NodeId(src),
+                dst: NodeId(1),
+                size: 8,
+                gen_cycle: 0,
+            },
             delivered_cycle: base + mis + inj + loc + glob,
             traversal: base + mis,
             min_traversal: base,
@@ -101,5 +186,37 @@ mod tests {
         s.start_measurement();
         assert_eq!(s.latency.count(), 0);
         assert_eq!(s.histogram.total(), 0);
+    }
+
+    #[test]
+    fn job_attribution_splits_records_by_source() {
+        // Nodes 0,1 → job 0; node 2 → job 1; node 3 unowned.
+        let mut s = MeasurementSink::with_jobs(vec![0, 0, 1, MeasurementSink::NO_JOB], 2);
+        s.start_measurement();
+        s.on_delivered(&rec_from(0, (100, 0, 0, 0, 0)));
+        s.on_delivered(&rec_from(1, (200, 0, 0, 0, 0)));
+        s.on_delivered(&rec_from(2, (300, 0, 0, 0, 0)));
+        s.on_delivered(&rec_from(3, (400, 0, 0, 0, 0)));
+        assert_eq!(s.latency.count(), 4);
+        assert_eq!(s.jobs()[0].delivered_packets, 2);
+        assert_eq!(s.jobs()[0].delivered_phits, 16);
+        assert_eq!(s.jobs()[0].latency.mean_latency(), 150.0);
+        assert_eq!(s.jobs()[1].delivered_packets, 1);
+        assert_eq!(s.jobs()[1].latency.mean_latency(), 300.0);
+    }
+
+    #[test]
+    fn job_reset_with_measurement() {
+        let mut s = MeasurementSink::with_jobs(vec![0], 1);
+        s.start_measurement();
+        s.on_delivered(&rec_from(0, (100, 0, 0, 0, 0)));
+        s.start_measurement();
+        assert_eq!(s.jobs()[0].delivered_packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_job_map_rejected() {
+        MeasurementSink::with_jobs(vec![5], 2);
     }
 }

@@ -38,13 +38,21 @@ pub struct Counters {
     /// Packets injected per router: granted from an injection-port input
     /// buffer into an output buffer. This is the paper's fairness signal.
     pub injected_per_router: Vec<u64>,
+    /// Packets injected per *node* (same grant event attributed to the
+    /// node behind the injection port). Finer-grained fairness signal for
+    /// per-job breakdowns where several jobs share a router.
+    pub injected_per_node: Vec<u64>,
     /// Cycles elapsed since the last counter reset.
     pub cycles: u64,
 }
 
 impl Counters {
-    fn new(routers: usize) -> Self {
-        Self { injected_per_router: vec![0; routers], ..Self::default() }
+    fn new(routers: usize, nodes: usize) -> Self {
+        Self {
+            injected_per_router: vec![0; routers],
+            injected_per_node: vec![0; nodes],
+            ..Self::default()
+        }
     }
 
     /// Delivered throughput in phits per node per cycle.
@@ -76,6 +84,16 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     latencies: Vec<u64>,
     /// Allocation scratch: proposals per output port.
     proposals: Vec<Vec<(u32, u8)>>,
+    /// Allocation scratch, persistent across cycles so the hot loop does
+    /// not allocate: remaining grant budget per input / output port.
+    alloc_in_budget: Vec<u32>,
+    alloc_out_budget: Vec<u32>,
+    /// Allocation scratch: VCs already granted this cycle, flattened
+    /// `[port * vc_stride + vc]`.
+    alloc_vc_granted: Vec<bool>,
+    /// Widest VC count any port class is configured with (flattening
+    /// stride for `alloc_vc_granted`).
+    vc_stride: usize,
     /// Delivery cycle of the most recent grant anywhere (livelock guard).
     last_progress: u64,
 }
@@ -93,7 +111,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             .routers()
             .map(|r| RouterState::new(r, &params, &cfg))
             .collect();
-        let nodes = (0..params.nodes())
+        let nodes: Vec<NodeState> = (0..params.nodes())
             .map(|_| NodeState {
                 queue: VecDeque::new(),
                 credits: vec![cfg.injection_input_buffer; cfg.vcs_injection as usize],
@@ -116,6 +134,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         }
         let wheel = EventWheel::new(cfg.max_event_delay());
         let n_routers = routers.len();
+        let n_nodes = nodes.len();
+        let vc_stride = cfg.vcs_injection.max(cfg.vcs_local).max(cfg.vcs_global) as usize;
         Self {
             topo,
             cfg,
@@ -126,11 +146,15 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             next_packet_id: 0,
             policy,
             sink,
-            counters: Counters::new(n_routers),
+            counters: Counters::new(n_routers, n_nodes),
             live_packets: 0,
             peers,
             latencies,
             proposals: (0..radix).map(|_| Vec::new()).collect(),
+            alloc_in_budget: vec![0; radix as usize],
+            alloc_out_budget: vec![0; radix as usize],
+            alloc_vc_granted: vec![false; radix as usize * vc_stride],
+            vc_stride,
             last_progress: 0,
         }
     }
@@ -197,8 +221,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
 
     /// Zero the measurement counters (start of the measurement window).
     pub fn reset_counters(&mut self) {
-        let n = self.routers.len();
-        self.counters = Counters::new(n);
+        self.counters = Counters::new(self.routers.len(), self.nodes.len());
     }
 
     /// Offer a packet for generation at `src` towards `dst`. Returns
@@ -407,18 +430,15 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         let params = *self.topo.params();
         let radix = params.radix() as usize;
         let adaptive = self.policy.adaptive_reroute();
-        // Remaining grant budget per port this cycle (2× speedup).
-        let mut in_budget = vec![self.cfg.speedup; radix];
-        let mut out_budget = vec![self.cfg.speedup; radix];
-        // VCs that already won this cycle cannot win again (their new head
-        // has not traversed the pipeline). Stride covers the widest VC
-        // count any port class is configured with.
-        let vc_stride = self
-            .cfg
-            .vcs_injection
-            .max(self.cfg.vcs_local)
-            .max(self.cfg.vcs_global) as usize;
-        let mut vc_granted = vec![false; radix * vc_stride];
+        // Reset the persistent scratch (hoisted out of the hot loop so no
+        // per-router-per-cycle allocation happens): remaining grant budget
+        // per port this cycle (2× speedup), and the VCs that already won
+        // this cycle — their new head has not traversed the pipeline, so
+        // they cannot win again.
+        let vc_stride = self.vc_stride;
+        self.alloc_in_budget.fill(self.cfg.speedup);
+        self.alloc_out_budget.fill(self.cfg.speedup);
+        self.alloc_vc_granted.fill(false);
 
         for _iter in 0..self.cfg.speedup {
             // --- Phase 1: each input port nominates one VC head. ---
@@ -426,7 +446,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 self.proposals[q].clear();
             }
             for in_port in 0..radix {
-                if in_budget[in_port] == 0 {
+                if self.alloc_in_budget[in_port] == 0 {
                     continue;
                 }
                 let vcs = self.routers[r].inputs[in_port].len() as u32;
@@ -434,7 +454,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 let mut nominated = None;
                 for k in 0..vcs {
                     let vc = ((start + k) % vcs) as usize;
-                    if vc_granted[in_port * vc_stride + vc] {
+                    if self.alloc_vc_granted[in_port * vc_stride + vc] {
                         continue;
                     }
                     // Decide routing for the head if needed.
@@ -489,7 +509,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                         .and_then(|p| p.decision)
                         .expect("nominated head has decision")
                         .out_port;
-                    if out_budget[out.idx()] > 0 {
+                    if self.alloc_out_budget[out.idx()] > 0 {
                         self.proposals[out.idx()].push((in_port as u32, vc as u8));
                     }
                 }
@@ -499,15 +519,15 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             let mut any = false;
             #[allow(clippy::needless_range_loop)] // index drives three parallel arrays
             for out_port in 0..radix {
-                if self.proposals[out_port].is_empty() || out_budget[out_port] == 0 {
+                if self.proposals[out_port].is_empty() || self.alloc_out_budget[out_port] == 0 {
                     continue;
                 }
                 let winner = self.arbitrate_output(r, out_port);
                 let Some((in_port, vc)) = winner else { continue };
                 self.commit_grant(r, in_port as usize, vc as usize, out_port);
-                in_budget[in_port as usize] -= 1;
-                out_budget[out_port] -= 1;
-                vc_granted[in_port as usize * vc_stride + vc as usize] = true;
+                self.alloc_in_budget[in_port as usize] -= 1;
+                self.alloc_out_budget[out_port] -= 1;
+                self.alloc_vc_granted[in_port as usize * vc_stride + vc as usize] = true;
                 // Advance the input port's RR pointer past the winner.
                 let vcs = self.routers[r].inputs[in_port as usize].len() as u32;
                 self.routers[r].in_rr[in_port as usize] = (vc as u32 + 1) % vcs;
@@ -594,9 +614,11 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         }
         pkt.traversal += self.cfg.pipeline_latency;
 
-        // Fairness counter: packets leaving an injection input.
+        // Fairness counters: packets leaving an injection input. The input
+        // port of an injection grant *is* the node's slot on its router.
         if params.port_kind(Port(in_port as u32)) == PortKind::Injection {
             self.counters.injected_per_router[r] += 1;
+            self.counters.injected_per_node[r * params.p as usize + in_port] += 1;
         }
 
         // Reserve downstream credit (transit outputs only).
@@ -820,6 +842,11 @@ mod tests {
         assert!(net.drain(5000));
         assert_eq!(net.counters().injected_per_router[0], 1);
         assert_eq!(net.counters().injected_per_router[2], 1);
+        // Per-node attribution: node 0 = router 0 slot 0, node 5 = router 2
+        // slot 1 (p = 2).
+        assert_eq!(net.counters().injected_per_node[0], 1);
+        assert_eq!(net.counters().injected_per_node[5], 1);
+        assert_eq!(net.counters().injected_per_node.iter().sum::<u64>(), 2);
     }
 
     #[test]

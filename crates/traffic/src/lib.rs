@@ -21,9 +21,11 @@
 
 mod bernoulli;
 mod patterns;
+mod seed;
 mod spec;
 
 pub use bernoulli::BernoulliInjector;
+pub use seed::derive_seed;
 pub use patterns::{
     AdvConsecutive, Adversarial, GroupLocal, HotSpot, Mix, Permutation, Traffic, Uniform,
 };

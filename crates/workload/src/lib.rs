@@ -1,0 +1,45 @@
+//! # df-workload
+//!
+//! The workload subsystem: multi-job scenarios for the Dragonfly
+//! simulator. The paper's central observation (§III) is that ADVc-like
+//! unfairness arises *naturally* from a job allocated on consecutive
+//! groups even when the job's own communication is uniform — which makes
+//! workload structure, not just the global traffic pattern, the thing to
+//! model. This crate provides:
+//!
+//! * [`InjectionProcess`] — *when* nodes generate packets, generalizing
+//!   the seed simulator's single Bernoulli process with per-node RNG
+//!   substreams: [`BernoulliProcess`], Markov-modulated [`OnOffProcess`]
+//!   bursts, [`PoissonProcess`] batches, and [`TraceReplay`] of recorded
+//!   `(cycle, src, dst)` event streams ([`TraceRecorder`] writes them);
+//! * [`PlacementSpec`] — *where* a job runs: consecutive groups, explicit
+//!   or random group lists (optionally restricted to a subset of node
+//!   slots so jobs can share routers disjointly), round-robin over
+//!   routers, or explicit node lists;
+//! * [`JobSpec`] / [`JobTraffic`] — a placement plus a [`PatternSpec`]
+//!   remapped into the job's node set, an injection process, a load, and
+//!   start/stop cycles;
+//! * [`ScenarioSpec`] — a serializable composition of jobs, mechanisms,
+//!   and the measurement protocol (`scenarios/*.json`).
+//!
+//! The scenario *runner* lives in `dragonfly-core` (`run_scenario`),
+//! which drives the simulator's per-node injection path with these
+//! processes and reports per-job results.
+//!
+//! [`PatternSpec`]: df_traffic::PatternSpec
+
+#![warn(missing_docs)]
+
+mod injection;
+mod job;
+mod placement;
+mod scenario;
+mod trace;
+
+pub use injection::{
+    Arrival, BernoulliProcess, InjectionProcess, InjectionSpec, OnOffProcess, PoissonProcess,
+};
+pub use job::{JobSpec, JobTraffic, JobTrafficAdapter};
+pub use placement::{PlacementSpec, ResolvedPlacement};
+pub use scenario::ScenarioSpec;
+pub use trace::{load_trace, TraceEvent, TraceRecorder, TraceReplay};

@@ -1,0 +1,189 @@
+//! Serializable scenario specifications: a machine, a measurement
+//! protocol, a mechanism set, and the jobs that share the network.
+
+use crate::job::JobSpec;
+use crate::placement::ResolvedPlacement;
+use df_engine::ArbiterPolicy;
+use df_routing::MechanismSpec;
+use df_topology::{Arrangement, DragonflyParams};
+use df_traffic::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// A complete multi-job experiment, loadable from JSON (`scenarios/`).
+///
+/// The mechanism axis is a *list* so one scenario file can contrast how
+/// different routing mechanisms treat the same workload (e.g. which one
+/// lets an ADVc aggressor starve a uniform victim).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in result files).
+    pub name: String,
+    /// Machine sizing.
+    pub params: DragonflyParams,
+    /// Global-link arrangement.
+    pub arrangement: Arrangement,
+    /// Routing mechanisms to run the workload under.
+    pub mechanisms: Vec<MechanismSpec>,
+    /// Output-arbiter policy.
+    pub arbiter: ArbiterPolicy,
+    /// Warm-up cycles before statistics are tracked.
+    pub warmup_cycles: u64,
+    /// Measurement window in cycles.
+    pub measure_cycles: u64,
+    /// The jobs sharing the network. Node sets must be disjoint.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl ScenarioSpec {
+    /// Resolve every job's placement for the given master `seed`, with a
+    /// distinct sub-seed per job so two random placements in one scenario
+    /// land on different node sets. This is *the* placement derivation —
+    /// [`ScenarioSpec::validate`] and the scenario runner both use it.
+    pub fn resolve_placements(&self, seed: u64) -> Result<Vec<ResolvedPlacement>, String> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| {
+                job.placement
+                    .resolve(&self.params, derive_seed(seed, 0x10 + j as u64))
+                    .map_err(|e| format!("job `{}`: {e}", job.name))
+            })
+            .collect()
+    }
+
+    /// Validate the spec against its own machine: non-empty axes, sane
+    /// loads, resolvable and pairwise-disjoint placements.
+    ///
+    /// `seed` must match the master seed later used to run the scenario
+    /// (random placements are seed-dependent).
+    pub fn validate(&self, seed: u64) -> Result<(), String> {
+        if self.jobs.is_empty() {
+            return Err("scenario has no jobs".into());
+        }
+        if self.mechanisms.is_empty() {
+            return Err("scenario has no mechanisms".into());
+        }
+        if self.measure_cycles == 0 {
+            return Err("measurement window must be nonzero".into());
+        }
+        let placements = self.resolve_placements(seed)?;
+        let mut owner: Vec<Option<usize>> = vec![None; self.params.nodes() as usize];
+        for (j, (job, placement)) in self.jobs.iter().zip(&placements).enumerate() {
+            if !(0.0..=8.0).contains(&job.load) {
+                return Err(format!("job `{}` load {} out of range", job.name, job.load));
+            }
+            for n in &placement.nodes {
+                if let Some(other) = owner[n.idx()] {
+                    return Err(format!(
+                        "jobs `{}` and `{}` both claim node {}",
+                        self.jobs[other].name, job.name, n.0
+                    ));
+                }
+                owner[n.idx()] = Some(j);
+            }
+            if let (Some(start), Some(stop)) = (job.start_cycle, job.stop_cycle) {
+                if stop <= start {
+                    return Err(format!("job `{}` stops before it starts", job.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a scenario from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("malformed scenario: {e}"))
+    }
+
+    /// Load a scenario from a JSON file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read scenario {path}: {e}"))?;
+        Self::from_json(&text)
+    }
+
+    /// Serialize as pretty JSON (the `scenarios/*.json` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialize scenario")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injection::InjectionSpec;
+    use crate::placement::PlacementSpec;
+    use df_traffic::PatternSpec;
+
+    fn job(name: &str, first: u32, count: u32) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            placement: PlacementSpec::ConsecutiveGroups { first, count, slots: None },
+            pattern: PatternSpec::Uniform,
+            injection: InjectionSpec::Bernoulli,
+            load: 0.3,
+            start_cycle: None,
+            stop_cycle: None,
+        }
+    }
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "two-jobs".into(),
+            params: DragonflyParams::small(),
+            arrangement: Arrangement::Palmtree,
+            mechanisms: vec![MechanismSpec::InTransitMm, MechanismSpec::ObliviousCrg],
+            arbiter: ArbiterPolicy::TransitPriority,
+            warmup_cycles: 1000,
+            measure_cycles: 2000,
+            jobs: vec![job("a", 0, 4), job("b", 4, 4)],
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate(1).unwrap();
+    }
+
+    #[test]
+    fn overlapping_jobs_rejected() {
+        let mut s = spec();
+        s.jobs[1] = job("b", 3, 4);
+        let err = s.validate(1).unwrap_err();
+        assert!(err.contains("both claim"), "{err}");
+    }
+
+    #[test]
+    fn two_random_placements_get_distinct_group_sets() {
+        // Regression: each job's placement must draw from its own
+        // sub-seed, or two RandomGroups jobs always collide.
+        let mut s = spec();
+        for job in &mut s.jobs {
+            job.placement = PlacementSpec::RandomGroups { count: 3, slots: None };
+        }
+        for seed in 0..20u64 {
+            let placements = s.resolve_placements(seed).unwrap();
+            assert_ne!(placements[0].nodes, placements[1].nodes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = spec();
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn degenerate_axes_rejected() {
+        let mut s = spec();
+        s.mechanisms.clear();
+        assert!(s.validate(1).is_err());
+        let mut s = spec();
+        s.jobs.clear();
+        assert!(s.validate(1).is_err());
+        let mut s = spec();
+        s.jobs[0].load = 9.0;
+        assert!(s.validate(1).is_err());
+    }
+}

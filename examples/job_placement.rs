@@ -2,104 +2,56 @@
 //! on `h+1` consecutive groups generates ADVc-like traffic even though
 //! the application itself communicates *uniformly* between its processes.
 //!
-//! This example runs uniform traffic restricted to a consecutive slice of
-//! groups (a "job"), versus the same job scattered over non-consecutive
-//! groups, and compares the fairness of the routers inside the job.
+//! Since PR 2 this example delegates to the workload subsystem: each
+//! allocation is a one-job [`ScenarioSpec`] (uniform in-job pattern,
+//! Bernoulli injection) run through the scenario runner, which reports
+//! the job's own throughput, latency, and per-node injection fairness.
 //!
 //! ```text
 //! cargo run --release --example job_placement
 //! ```
 
-use dragonfly_core::df_traffic::Traffic;
 use dragonfly_core::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-/// Uniform traffic among the nodes of a fixed set of groups — what an
-/// application allocated on those groups produces.
-struct JobUniform {
-    params: DragonflyParams,
-    groups: Vec<u32>,
-    rng: SmallRng,
-}
-
-impl Traffic for JobUniform {
-    fn dest(&mut self, src: NodeId) -> NodeId {
-        let per_group = self.params.a * self.params.p;
-        loop {
-            let g = self.groups[self.rng.gen_range(0..self.groups.len())];
-            let n = NodeId(g * per_group + self.rng.gen_range(0..per_group));
-            if n != src {
-                return n;
-            }
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        "JOB-UN"
-    }
-}
-
-fn run_job(params: DragonflyParams, job_groups: Vec<u32>, label: &str) {
-    let cfg = SimConfig::small(
-        MechanismSpec::InTransitMm,
-        ArbiterPolicy::TransitPriority,
-        PatternSpec::Uniform, // placeholder; we drive the sim manually
-        0.4,
-    );
-    let topo = Topology::new(params, Arrangement::Palmtree);
-    let engine_cfg = cfg.engine_config();
-    let policy = cfg.mechanism.build(topo.clone(), &engine_cfg, 7);
-    let mut net = dragonfly_core::df_engine::Network::new(
-        topo,
-        engine_cfg,
-        policy,
-        dragonfly_core::df_engine::NullSink,
-    );
-    let mut traffic = JobUniform {
+fn job_scenario(params: DragonflyParams, placement: PlacementSpec, label: &str) -> ScenarioSpec {
+    ScenarioSpec {
+        name: label.into(),
         params,
-        groups: job_groups.clone(),
-        rng: SmallRng::seed_from_u64(3),
-    };
-    let mut injector = dragonfly_core::df_traffic::BernoulliInjector::new(0.4, 8, 5);
-    let per_group = params.a * params.p;
-    let job_nodes: Vec<NodeId> = job_groups
-        .iter()
-        .flat_map(|&g| (0..per_group).map(move |i| NodeId(g * per_group + i)))
-        .collect();
-
-    let warmup = 6_000;
-    let measure = 12_000;
-    for t in 0..(warmup + measure) {
-        if t == warmup {
-            net.reset_counters();
-        }
-        for &n in &job_nodes {
-            if injector.fire() {
-                let dst = traffic.dest(n);
-                net.offer(n, dst);
-            }
-        }
-        net.step();
+        arrangement: Arrangement::Palmtree,
+        // In-Trns-CRG is the mechanism the paper shows starving the ADVc
+        // bottleneck router — the placement hazard is invisible under the
+        // fair In-Trns-MM.
+        mechanisms: vec![MechanismSpec::InTransitCrg],
+        arbiter: ArbiterPolicy::TransitPriority,
+        warmup_cycles: 6_000,
+        measure_cycles: 12_000,
+        jobs: vec![JobSpec {
+            name: "app".into(),
+            placement,
+            pattern: PatternSpec::Uniform, // uniform *within* the job
+            injection: InjectionSpec::Bernoulli,
+            load: 0.7,
+            start_cycle: None,
+            stop_cycle: None,
+        }],
     }
+}
 
-    // Fairness across the routers of the job's groups only.
-    let a = params.a as usize;
-    let counts: Vec<u64> = job_groups
-        .iter()
-        .flat_map(|&g| {
-            net.counters().injected_per_router[g as usize * a..(g as usize + 1) * a].to_vec()
-        })
-        .collect();
-    let fairness = FairnessReport::from_u64(&counts);
-    println!("\n=== {label} (groups {job_groups:?}) ===");
-    println!("  accepted load (whole net) : {:.4}", net.counters().throughput(params.nodes()));
-    println!("  min / mean injections     : {:.0} / {:.0}", fairness.min, fairness.mean);
-    println!("  max/min ratio             : {:.2}", fairness.max_min_ratio);
-    println!("  CoV                       : {:.4}", fairness.cov);
-    let g0 = job_groups[0] as usize;
+fn run_job(spec: &ScenarioSpec, groups: &[u32]) {
+    let out = run_scenario(spec, &[3]).expect("scenario runs");
+    let m = &out.mechanisms[0];
+    let job = &m.per_job[0];
+    let run = &m.runs[0];
+    println!("\n=== {} (groups {groups:?}) ===", spec.name);
+    println!("  job offered / accepted    : {:.4} / {:.4}", job.offered, job.throughput);
+    println!("  job avg latency (cycles)  : {:.1}", job.avg_latency);
+    println!("  min node injections       : {:.0}", job.min_injections);
+    println!("  max/min ratio (per node)  : {:.2}", job.max_min_ratio);
+    println!("  CoV (per node)            : {:.4}", job.cov);
+    let a = spec.params.a as usize;
+    let g0 = groups[0] as usize;
     print!("  group {g0} per-router        :");
-    for c in &net.counters().injected_per_router[g0 * a..(g0 + 1) * a] {
+    for c in &run.injected_per_router[g0 * a..(g0 + 1) * a] {
         print!(" {c:>6}");
     }
     println!();
@@ -116,17 +68,28 @@ fn main() {
     // Consecutive allocation — the scheduler's simplest choice. Uniform
     // in-job traffic degenerates into ADVc at the network level (§III).
     let consecutive: Vec<u32> = (0..=params.h).collect();
-    run_job(params, consecutive, "consecutive allocation");
+    let spec = job_scenario(
+        params,
+        PlacementSpec::ConsecutiveGroups { first: 0, count: params.h + 1, slots: None },
+        "consecutive allocation",
+    );
+    run_job(&spec, &consecutive);
 
     // Scattered allocation: same job size, groups spread out.
     let stride = params.groups() / (params.h + 1);
     let scattered: Vec<u32> = (0..=params.h).map(|i| i * stride).collect();
-    run_job(params, scattered, "scattered allocation");
+    let spec = job_scenario(
+        params,
+        PlacementSpec::Groups { groups: scattered.clone(), slots: None },
+        "scattered allocation",
+    );
+    run_job(&spec, &scattered);
 
     println!(
-        "\nThe consecutive job funnels its inter-group traffic through each \
-         group's bottleneck router (palmtree arrangement), reproducing the \
-         ADVc fairness hazard; scattering the groups spreads the exit \
-         routers and restores balance."
+        "\nThe consecutive job funnels all its inter-group traffic through \
+         one bottleneck router per group (palmtree arrangement), whose \
+         nodes are starved under transit priority — the ADVc fairness \
+         hazard. Scattering the groups spreads the exit pressure across \
+         several routers, lifting the worst-starved node."
     );
 }
