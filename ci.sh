@@ -26,4 +26,14 @@ cargo run --release -p df-bench --bin scenario -- --quick \
 echo "==> criterion benches in --test mode (each body runs once)"
 cargo bench -p df-bench -- --test
 
+echo "==> end-to-end bench smoke (full warm-up + measurement unit, once)"
+cargo bench -p df-bench --bench end_to_end -- --test
+
+echo "==> record perf trajectory (bench-results/BENCH_*.json)"
+# Absolute path: cargo bench runs the binaries with cwd = the bench
+# package directory, so a relative dir would land in crates/bench/.
+mkdir -p bench-results
+BENCH_JSON_DIR="$PWD/bench-results" cargo bench -p df-bench --bench router_step
+BENCH_JSON_DIR="$PWD/bench-results" cargo bench -p df-bench --bench allocator
+
 echo "CI gate passed."

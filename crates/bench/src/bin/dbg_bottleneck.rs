@@ -45,7 +45,8 @@ fn main() {
             let kind_in = params.port_kind(Port(q));
             let vcs = match kind_in { PortKind::Injection => 3, PortKind::Local => 3, PortKind::Global => 2 };
             for v in 0..vcs {
-                if let Some(pk) = r.head(Port(q), v) {
+                if let Some(id) = r.head(Port(q), v) {
+                    let pk = net.packet(id);
                     if let Some(d) = pk.decision {
                         let kout = params.port_kind(d.out_port);
                         match (kind_in, kout) {

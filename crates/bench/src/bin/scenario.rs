@@ -147,17 +147,25 @@ fn main() {
             m.throughput, m.avg_latency, m.router_cov
         );
         println!(
-            "  {:>12} {:>6} {:>9} {:>9} {:>10} {:>9} {:>9} {:>8}",
-            "job", "nodes", "offered", "accepted", "latency", "min inj", "max/min", "CoV"
+            "  {:>12} {:>6} {:>9} {:>9} {:>10} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8}",
+            "job", "nodes", "offered", "accepted", "latency", "p50", "p95", "p99", "min inj",
+            "max/min", "CoV"
         );
         for j in &m.per_job {
+            let pct = |p: Option<f64>| match p {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_string(),
+            };
             println!(
-                "  {:>12} {:>6} {:>9.4} {:>9.4} {:>10.1} {:>9.1} {:>9.2} {:>8.4}",
+                "  {:>12} {:>6} {:>9.4} {:>9.4} {:>10.1} {:>8} {:>8} {:>8} {:>9.1} {:>9.2} {:>8.4}",
                 j.job,
                 j.nodes,
                 j.offered,
                 j.throughput,
                 j.avg_latency,
+                pct(j.p50_latency),
+                pct(j.p95_latency),
+                pct(j.p99_latency),
                 j.min_injections,
                 j.max_min_ratio,
                 j.cov

@@ -27,6 +27,12 @@ pub struct JobSummary {
     pub throughput: f64,
     /// Mean packet latency in cycles.
     pub avg_latency: f64,
+    /// Mean per-seed median latency (cycles; `None` if no seed delivered).
+    pub p50_latency: Option<f64>,
+    /// Mean per-seed 95th-percentile latency (cycles).
+    pub p95_latency: Option<f64>,
+    /// Mean per-seed 99th-percentile latency (cycles).
+    pub p99_latency: Option<f64>,
     /// Mean of the per-seed minimum per-node injection counts.
     pub min_injections: f64,
     /// Mean per-node injection max/min ratio.
@@ -41,12 +47,25 @@ impl JobSummary {
     fn average(per_seed: &[&JobResult]) -> Self {
         let n = per_seed.len() as f64;
         let mean = |f: &dyn Fn(&JobResult) -> f64| per_seed.iter().map(|r| f(r)).sum::<f64>() / n;
+        // Mean over the seeds that delivered anything (percentiles are
+        // `None` for an idle job).
+        let mean_opt = |f: &dyn Fn(&JobResult) -> Option<u64>| {
+            let vals: Vec<u64> = per_seed.iter().filter_map(|r| f(r)).collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<u64>() as f64 / vals.len() as f64)
+            }
+        };
         Self {
             job: per_seed[0].job.clone(),
             nodes: per_seed[0].nodes,
             offered: mean(&|r| r.offered),
             throughput: mean(&|r| r.throughput),
             avg_latency: mean(&|r| r.avg_latency),
+            p50_latency: mean_opt(&|r| r.p50_latency),
+            p95_latency: mean_opt(&|r| r.p95_latency),
+            p99_latency: mean_opt(&|r| r.p99_latency),
             min_injections: mean(&|r| r.fairness.min),
             max_min_ratio: mean(&|r| r.fairness.max_min_ratio),
             cov: mean(&|r| r.fairness.cov),

@@ -13,6 +13,8 @@ const NO_JOB: u32 = u32::MAX;
 pub struct JobAccumulator {
     /// Latency breakdown of packets sourced by this job's nodes.
     pub latency: LatencyAccumulator,
+    /// End-to-end latency histogram (p50/p95/p99 per job).
+    pub histogram: Histogram,
     /// Packets delivered for this job during the window.
     pub delivered_packets: u64,
     /// Phits delivered for this job during the window.
@@ -21,7 +23,12 @@ pub struct JobAccumulator {
 
 impl JobAccumulator {
     fn new() -> Self {
-        Self { latency: LatencyAccumulator::new(), delivered_packets: 0, delivered_phits: 0 }
+        Self {
+            latency: LatencyAccumulator::new(),
+            histogram: Histogram::new(50, 200),
+            delivered_packets: 0,
+            delivered_phits: 0,
+        }
     }
 }
 
@@ -125,6 +132,7 @@ impl StatsSink for MeasurementSink {
                 rec.waits.local,
                 rec.waits.global,
             );
+            job.histogram.add(rec.latency());
             job.delivered_packets += 1;
             job.delivered_phits += rec.header.size as u64;
         }
@@ -186,6 +194,20 @@ mod tests {
         s.start_measurement();
         assert_eq!(s.latency.count(), 0);
         assert_eq!(s.histogram.total(), 0);
+    }
+
+    #[test]
+    fn job_histogram_yields_percentiles() {
+        let mut s = MeasurementSink::with_jobs(vec![0], 1);
+        s.start_measurement();
+        for i in 0..100u64 {
+            s.on_delivered(&rec_from(0, (100 + i * 10, 0, 0, 0, 0)));
+        }
+        let h = &s.jobs()[0].histogram;
+        assert_eq!(h.total(), 100);
+        let (p50, p99) = (h.quantile(0.5).unwrap(), h.quantile(0.99).unwrap());
+        assert!(p50 < p99, "p50 {p50} must sit below p99 {p99}");
+        assert!(p99 >= 1050, "p99 {p99} must cover the distribution tail");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Slab storage for in-flight packets.
+//!
+//! Every accepted packet lives in one [`PacketArena`] slot from `offer`
+//! until delivery; buffers, node queues, and link events carry the `u32`
+//! [`PacketId`] handle instead of a `Box<Packet>`. Freed slots go on a
+//! free list and are reused in LIFO order, so steady-state simulation
+//! performs no per-packet heap allocation and packet state stays
+//! cache-dense (the arena grows once to the peak in-flight population and
+//! then stays fixed).
+
+use crate::packet::Packet;
+use std::ops::{Index, IndexMut};
+
+/// Handle of a live packet in the [`PacketArena`] (slab slot index).
+///
+/// Handles are reused after delivery; the stable per-simulation identity
+/// of a packet is its monotonic sequence number [`header.id`].
+///
+/// [`header.id`]: crate::packet::PacketHeader::id
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketId(pub u32);
+
+/// Slab of in-flight packets with free-list reuse.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store `pkt` and return its handle, reusing a freed slot if any.
+    pub fn insert(&mut self, pkt: Packet) -> PacketId {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = pkt;
+                PacketId(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena overflow");
+                self.slots.push(pkt);
+                PacketId(slot)
+            }
+        }
+    }
+
+    /// Release the slot behind `id` for reuse. The caller must not use
+    /// the handle afterwards (the slot's contents stay readable until the
+    /// next [`PacketArena::insert`], but mean nothing).
+    pub fn free(&mut self, id: PacketId) {
+        debug_assert!(
+            (id.0 as usize) < self.slots.len() && !self.free.contains(&id.0),
+            "double free of packet slot {}",
+            id.0
+        );
+        self.free.push(id.0);
+    }
+
+    /// Packets currently live (inserted and not freed).
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (the peak live population).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Index<PacketId> for PacketArena {
+    type Output = Packet;
+
+    #[inline]
+    fn index(&self, id: PacketId) -> &Packet {
+        &self.slots[id.0 as usize]
+    }
+}
+
+impl IndexMut<PacketId> for PacketArena {
+    #[inline]
+    fn index_mut(&mut self, id: PacketId) -> &mut Packet {
+        &mut self.slots[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_topology::{GroupId, NodeId};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(seq, NodeId(0), NodeId(1), 8, 0, GroupId(0))
+    }
+
+    #[test]
+    fn insert_read_free_reuse() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(pkt(1));
+        let b = arena.insert(pkt(2));
+        assert_ne!(a, b);
+        assert_eq!(arena[a].header.id, 1);
+        assert_eq!(arena[b].header.id, 2);
+        assert_eq!(arena.live(), 2);
+        arena.free(a);
+        assert_eq!(arena.live(), 1);
+        // LIFO reuse: the freed slot is handed back first.
+        let c = arena.insert(pkt(3));
+        assert_eq!(c, a);
+        assert_eq!(arena[c].header.id, 3);
+        assert_eq!(arena.capacity(), 2, "no growth while a free slot exists");
+    }
+
+    #[test]
+    fn capacity_tracks_peak_live() {
+        let mut arena = PacketArena::new();
+        let ids: Vec<PacketId> = (0..10).map(|i| arena.insert(pkt(i))).collect();
+        for id in &ids {
+            arena.free(*id);
+        }
+        assert_eq!(arena.live(), 0);
+        for i in 0..10 {
+            arena.insert(pkt(100 + i));
+        }
+        assert_eq!(arena.capacity(), 10, "drain-and-refill must not grow the slab");
+    }
+
+    #[test]
+    fn mutation_through_handle() {
+        let mut arena = PacketArena::new();
+        let id = arena.insert(pkt(7));
+        arena[id].waits.injection = 42;
+        assert_eq!(arena[id].waits.injection, 42);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_a_bug() {
+        let mut arena = PacketArena::new();
+        let id = arena.insert(pkt(1));
+        arena.free(id);
+        arena.free(id);
+    }
+}

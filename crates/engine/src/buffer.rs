@@ -1,6 +1,11 @@
 //! Input virtual-channel buffers and per-port output buffers.
+//!
+//! Buffers store [`PacketId`] arena handles (plus the packet size for
+//! occupancy accounting), not packets: the packet data itself lives in
+//! the [`crate::arena::PacketArena`], so enqueue/dequeue moves 8 bytes
+//! and never touches the allocator.
 
-use crate::packet::Packet;
+use crate::arena::PacketId;
 use std::collections::VecDeque;
 
 /// One virtual-channel FIFO of an input port.
@@ -12,7 +17,8 @@ use std::collections::VecDeque;
 /// counter, so `occupancy <= capacity` always holds.
 #[derive(Debug)]
 pub struct VcBuffer {
-    queue: VecDeque<Box<Packet>>,
+    /// `(handle, size in phits)` in arrival order.
+    queue: VecDeque<(PacketId, u32)>,
     occupancy: u32,
     capacity: u32,
 }
@@ -23,39 +29,33 @@ impl VcBuffer {
         Self { queue: VecDeque::new(), occupancy: 0, capacity }
     }
 
-    /// Enqueue an arriving packet.
+    /// Enqueue an arriving packet of `size` phits.
     ///
     /// # Panics
     /// Panics if the packet overflows the buffer — that would mean the
     /// upstream credit accounting is broken, which is a simulator bug.
-    pub fn push(&mut self, pkt: Box<Packet>) {
-        self.occupancy += pkt.header.size;
+    pub fn push(&mut self, id: PacketId, size: u32) {
+        self.occupancy += size;
         assert!(
             self.occupancy <= self.capacity,
             "VC buffer overflow: {}/{} phits — credit accounting violated",
             self.occupancy,
             self.capacity
         );
-        self.queue.push_back(pkt);
+        self.queue.push_back((id, size));
     }
 
-    /// The head packet, if any.
+    /// The head packet's handle, if any.
     #[inline]
-    pub fn front(&self) -> Option<&Packet> {
-        self.queue.front().map(|b| &**b)
+    pub fn front(&self) -> Option<PacketId> {
+        self.queue.front().map(|&(id, _)| id)
     }
 
-    /// Mutable head packet, if any.
-    #[inline]
-    pub fn front_mut(&mut self) -> Option<&mut Packet> {
-        self.queue.front_mut().map(|b| &mut **b)
-    }
-
-    /// Remove and return the head packet.
-    pub fn pop(&mut self) -> Option<Box<Packet>> {
-        let pkt = self.queue.pop_front()?;
-        self.occupancy -= pkt.header.size;
-        Some(pkt)
+    /// Remove and return the head packet's handle.
+    pub fn pop(&mut self) -> Option<PacketId> {
+        let (id, size) = self.queue.pop_front()?;
+        self.occupancy -= size;
+        Some(id)
     }
 
     /// Occupied phits (resident packets only).
@@ -84,10 +84,12 @@ impl VcBuffer {
 }
 
 /// A packet staged at an output port together with its downstream VC.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct Staged {
-    /// The packet.
-    pub pkt: Box<Packet>,
+    /// Arena handle of the packet.
+    pub pkt: PacketId,
+    /// Packet size in phits (occupancy and serialization accounting).
+    pub size: u32,
     /// Downstream input VC (credit was reserved at grant time).
     pub out_vc: u8,
 }
@@ -134,7 +136,7 @@ impl OutputBuffer {
     /// # Panics
     /// Panics on overflow — the allocator must check [`Self::free`] first.
     pub fn push(&mut self, staged: Staged) {
-        self.occupancy += staged.pkt.header.size;
+        self.occupancy += staged.size;
         assert!(
             self.occupancy <= self.capacity,
             "output buffer overflow: {}/{}",
@@ -178,42 +180,37 @@ impl OutputBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_topology::{GroupId, NodeId};
-
-    fn pkt(id: u64, size: u32) -> Box<Packet> {
-        Box::new(Packet::new(id, NodeId(0), NodeId(1), size, 0, GroupId(0)))
-    }
 
     #[test]
     fn vc_fifo_order_and_occupancy() {
         let mut vc = VcBuffer::new(32);
-        vc.push(pkt(1, 8));
-        vc.push(pkt(2, 8));
+        vc.push(PacketId(1), 8);
+        vc.push(PacketId(2), 8);
         assert_eq!(vc.occupancy(), 16);
         assert_eq!(vc.len(), 2);
-        assert_eq!(vc.pop().unwrap().header.id, 1);
+        assert_eq!(vc.pop(), Some(PacketId(1)));
         assert_eq!(vc.occupancy(), 8);
-        assert_eq!(vc.front().unwrap().header.id, 2);
+        assert_eq!(vc.front(), Some(PacketId(2)));
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
     fn vc_overflow_is_a_bug() {
         let mut vc = VcBuffer::new(16);
-        vc.push(pkt(1, 8));
-        vc.push(pkt(2, 8));
-        vc.push(pkt(3, 8));
+        vc.push(PacketId(1), 8);
+        vc.push(PacketId(2), 8);
+        vc.push(PacketId(3), 8);
     }
 
     #[test]
     fn output_buffer_space_freed_on_release_only() {
         let mut ob = OutputBuffer::new(32);
-        ob.push(Staged { pkt: pkt(1, 8), out_vc: 0 });
+        ob.push(Staged { pkt: PacketId(1), size: 8, out_vc: 0 });
         assert_eq!(ob.free(), 24);
         let staged = ob.pop_for_tx().unwrap();
         // Space still held while serializing.
         assert_eq!(ob.free(), 24);
-        ob.release(staged.pkt.header.size);
+        ob.release(staged.size);
         assert_eq!(ob.free(), 32);
     }
 
@@ -221,7 +218,7 @@ mod tests {
     fn output_buffer_holds_exactly_capacity() {
         let mut ob = OutputBuffer::new(32);
         for i in 0..4 {
-            ob.push(Staged { pkt: pkt(i, 8), out_vc: 0 });
+            ob.push(Staged { pkt: PacketId(i), size: 8, out_vc: 0 });
         }
         assert_eq!(ob.free(), 0);
         assert_eq!(ob.len(), 4);

@@ -106,6 +106,9 @@ impl EngineConfig {
         if self.vcs_injection == 0 || self.vcs_local == 0 || self.vcs_global == 0 {
             return Err("every port class needs at least one VC".into());
         }
+        if self.vcs_injection > 32 || self.vcs_local > 32 || self.vcs_global > 32 {
+            return Err("at most 32 VCs per port (ready-list bitmask width)".into());
+        }
         if self.speedup == 0 {
             return Err("speedup must be at least 1".into());
         }

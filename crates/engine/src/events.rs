@@ -5,11 +5,12 @@
 //! gives O(1) schedule/drain with no heap allocation churn: slot vectors
 //! are recycled.
 
-use crate::packet::Packet;
+use crate::arena::PacketId;
 use df_topology::{NodeId, Port, RouterId};
 
-/// A scheduled event.
-#[derive(Debug)]
+/// A scheduled event. Events are small `Copy` values: packets travel by
+/// arena handle, so the wheel never owns packet data.
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// Packet head arrives at a router input VC.
     ArriveRouter {
@@ -20,14 +21,14 @@ pub enum Event {
         /// Input VC.
         vc: u8,
         /// The packet.
-        pkt: Box<Packet>,
+        pkt: PacketId,
     },
     /// Packet tail delivered to its destination node.
     ArriveNode {
         /// Destination node.
         node: NodeId,
         /// The packet.
-        pkt: Box<Packet>,
+        pkt: PacketId,
     },
     /// Credits returned to a router's output port (downstream space freed).
     Credit {

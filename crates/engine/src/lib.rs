@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod buffer;
 mod config;
 mod events;
@@ -28,11 +29,12 @@ mod packet;
 mod policy;
 mod router;
 
+pub use arena::{PacketArena, PacketId};
 pub use buffer::{OutputBuffer, Staged, VcBuffer};
 pub use config::{ArbiterPolicy, EngineConfig};
 pub use network::{Counters, Network};
 pub use packet::{
-    Decision, DeliveredRecord, Packet, PacketHeader, PacketId, Phase, RouteInfo, WaitBreakdown,
+    Decision, DeliveredRecord, Packet, PacketHeader, PacketSeq, Phase, RouteInfo, WaitBreakdown,
 };
-pub use policy::{NullSink, RoutingPolicy, StatsSink};
+pub use policy::{CycleCtx, NullSink, RoutingPolicy, StatsSink};
 pub use router::{input_capacity_for, vcs_for, RouterState};

@@ -1,11 +1,20 @@
 //! The assembled network: nodes, routers, links, and the per-cycle
 //! simulation loop (event delivery → injection → allocation → output).
+//!
+//! Packets live in a [`PacketArena`]; every queue and link event carries
+//! a `u32` [`PacketId`] handle, so the steady-state hot path performs no
+//! per-packet heap allocation. The allocator consults per-port ready-VC
+//! bitmasks (maintained on push/pop) and skips idle routers outright,
+//! and the engine tracks which routers' global-link queues changed each
+//! cycle so policies like PiggyBack can refresh their congestion view
+//! incrementally (see [`CycleCtx`]).
 
+use crate::arena::{PacketArena, PacketId};
 use crate::buffer::Staged;
 use crate::config::{ArbiterPolicy, EngineConfig};
 use crate::events::{Event, EventWheel};
-use crate::packet::{DeliveredRecord, Packet, PacketId};
-use crate::policy::{RoutingPolicy, StatsSink};
+use crate::packet::{DeliveredRecord, Packet, PacketSeq};
+use crate::policy::{CycleCtx, RoutingPolicy, StatsSink};
 use crate::router::RouterState;
 use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, Topology};
 use std::collections::VecDeque;
@@ -14,7 +23,7 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 struct NodeState {
     /// Generated packets waiting to enter the router (bounded).
-    queue: VecDeque<Box<Packet>>,
+    queue: VecDeque<PacketId>,
     /// Credits towards the router's injection-port input buffer, per VC.
     credits: Vec<u32>,
     /// Round-robin pointer over injection VCs.
@@ -72,7 +81,9 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     nodes: Vec<NodeState>,
     wheel: EventWheel,
     cycle: u64,
-    next_packet_id: PacketId,
+    /// Slab storing every in-flight packet.
+    arena: PacketArena,
+    next_packet_seq: PacketSeq,
     policy: P,
     sink: S,
     counters: Counters,
@@ -94,6 +105,10 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     /// Widest VC count any port class is configured with (flattening
     /// stride for `alloc_vc_granted`).
     vc_stride: usize,
+    /// Routers whose global-link queues changed since the last
+    /// `begin_cycle` (deduplicated via `global_dirty` flags).
+    global_dirty_list: Vec<u32>,
+    global_dirty: Vec<bool>,
     /// Delivery cycle of the most recent grant anywhere (livelock guard).
     last_progress: u64,
 }
@@ -143,7 +158,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             nodes,
             wheel,
             cycle: 0,
-            next_packet_id: 0,
+            arena: PacketArena::new(),
+            next_packet_seq: 0,
             policy,
             sink,
             counters: Counters::new(n_routers, n_nodes),
@@ -155,6 +171,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             alloc_out_budget: vec![0; radix as usize],
             alloc_vc_granted: vec![false; radix as usize * vc_stride],
             vc_stride,
+            global_dirty_list: Vec::new(),
+            global_dirty: vec![false; n_routers],
             last_progress: 0,
         }
     }
@@ -207,6 +225,26 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.live_packets
     }
 
+    /// Packets currently resident in the arena (must equal
+    /// [`Self::in_flight`]; zero after a full drain — the leak check).
+    #[inline]
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Arena slots ever allocated (the peak in-flight population).
+    #[inline]
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Resolve a packet handle (diagnostics; handles come from
+    /// [`RouterState::head`]).
+    #[inline]
+    pub fn packet(&self, id: PacketId) -> &Packet {
+        &self.arena[id]
+    }
+
     /// Events (packets and credits) currently traversing links.
     #[inline]
     pub fn events_pending(&self) -> usize {
@@ -229,18 +267,19 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     /// still counted as offered load.
     pub fn offer(&mut self, src: NodeId, dst: NodeId) -> bool {
         self.counters.offered_packets += 1;
-        let node = &mut self.nodes[src.idx()];
-        if node.queue.len() >= self.cfg.max_node_queue {
+        if self.nodes[src.idx()].queue.len() >= self.cfg.max_node_queue {
             return false;
         }
-        let id = self.next_packet_id;
-        self.next_packet_id += 1;
+        let seq = self.next_packet_seq;
+        self.next_packet_seq += 1;
         let group = src.group(self.topo.params());
         // The earliest the node can act on this packet is the next cycle,
         // so that is its generation timestamp.
         let gen = self.cycle + 1;
-        let pkt = Box::new(Packet::new(id, src, dst, self.cfg.packet_size, gen, group));
-        node.queue.push_back(pkt);
+        let id = self
+            .arena
+            .insert(Packet::new(seq, src, dst, self.cfg.packet_size, gen, group));
+        self.nodes[src.idx()].queue.push_back(id);
         self.counters.accepted_packets += 1;
         self.live_packets += 1;
         true
@@ -251,7 +290,15 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.cycle += 1;
         self.counters.cycles += 1;
         self.deliver_events();
-        self.policy.begin_cycle(&self.routers, self.cycle);
+        self.policy.begin_cycle(&CycleCtx {
+            routers: &self.routers,
+            cycle: self.cycle,
+            dirty_global: &self.global_dirty_list,
+        });
+        for &r in &self.global_dirty_list {
+            self.global_dirty[r as usize] = false;
+        }
+        self.global_dirty_list.clear();
         self.inject_from_nodes();
         for r in 0..self.routers.len() {
             self.allocate_router(r);
@@ -273,6 +320,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     pub fn drain(&mut self, max: u64) -> bool {
         for _ in 0..max {
             if self.live_packets == 0 {
+                debug_assert_eq!(self.arena.live(), 0, "arena leak after drain");
                 return true;
             }
             self.step();
@@ -294,7 +342,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         for (r, router) in self.routers.iter().enumerate() {
             for (q, vcs) in router.inputs.iter().enumerate() {
                 for (v, buf) in vcs.iter().enumerate() {
-                    if let Some(p) = buf.front() {
+                    if let Some(id) = buf.front() {
+                        let p = &self.arena[id];
                         if p.eligible_at > self.cycle {
                             continue;
                         }
@@ -331,25 +380,38 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     // Cycle phases
     // ------------------------------------------------------------------
 
+    /// Mark `router`'s global-link queues as changed for the next
+    /// `begin_cycle` (deduplicated).
+    #[inline]
+    fn mark_global_dirty(&mut self, router: usize) {
+        if !self.global_dirty[router] {
+            self.global_dirty[router] = true;
+            self.global_dirty_list.push(router as u32);
+        }
+    }
+
     fn deliver_events(&mut self) {
         let mut events = self.wheel.advance();
         debug_assert_eq!(self.wheel.now(), self.cycle);
         for ev in events.drain(..) {
             match ev {
-                Event::ArriveRouter { router, port, vc, mut pkt } => {
-                    pkt.eligible_at = self.cycle + self.cfg.pipeline_latency;
-                    pkt.decision = None;
-                    self.routers[router.idx()].inputs[port.idx()][vc as usize].push(pkt);
+                Event::ArriveRouter { router, port, vc, pkt } => {
+                    let size = {
+                        let p = &mut self.arena[pkt];
+                        p.eligible_at = self.cycle + self.cfg.pipeline_latency;
+                        p.decision = None;
+                        p.header.size
+                    };
+                    self.routers[router.idx()].push_input(port.idx(), vc as usize, pkt, size);
                 }
                 Event::ArriveNode { node, pkt } => {
                     self.complete_delivery(node, pkt);
                 }
                 Event::Credit { router, port, vc, phits } => {
-                    let c = &mut self.routers[router.idx()].credits[port.idx()][vc as usize];
-                    *c += phits;
-                    debug_assert!(
-                        *c <= self.routers[router.idx()].credit_caps[port.idx()][vc as usize]
-                    );
+                    self.routers[router.idx()].return_credit(port.idx(), vc as usize, phits);
+                    if self.topo.params().port_kind(port) == PortKind::Global {
+                        self.mark_global_dirty(router.idx());
+                    }
                 }
                 Event::NodeCredit { node, vc, phits } => {
                     let c = &mut self.nodes[node.idx()].credits[vc as usize];
@@ -361,10 +423,9 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.wheel.recycle(events);
     }
 
-    #[allow(clippy::boxed_local)] // the packet arrives boxed from the event wheel
-    fn complete_delivery(&mut self, node: NodeId, pkt: Box<Packet>) {
+    fn complete_delivery(&mut self, node: NodeId, id: PacketId) {
+        let pkt = &self.arena[id];
         debug_assert_eq!(pkt.header.dst, node);
-        let params = self.topo.params();
         let (min_l, min_g) = self.topo.min_path_links(pkt.header.src, pkt.header.dst);
         let min_routers = (min_l + min_g + 1) as u64;
         let min_traversal = self.cfg.injection_link_latency          // node → router
@@ -373,7 +434,6 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             + min_g as u64 * self.cfg.global_link_latency
             + self.cfg.injection_link_latency                         // router → node
             + self.cfg.packet_size as u64;                            // serialization
-        let _ = params;
         let rec = DeliveredRecord {
             header: pkt.header,
             delivered_cycle: self.cycle,
@@ -386,6 +446,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.counters.delivered_packets += 1;
         self.counters.delivered_phits += pkt.header.size as u64;
         self.live_packets -= 1;
+        self.arena.free(id);
         self.sink.on_delivered(&rec);
     }
 
@@ -411,8 +472,9 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             node.vc_rr = (vc + 1) % vcs;
             node.credits[vc as usize] -= size;
             node.link_free_at = self.cycle + size as u64;
-            let mut pkt = node.queue.pop_front().expect("checked non-empty");
+            let id = node.queue.pop_front().expect("checked non-empty");
             // Source-queue time is injection wait.
+            let pkt = &mut self.arena[id];
             pkt.waits.injection += self.cycle - pkt.eligible_at;
             pkt.traversal += self.cfg.injection_link_latency;
             let node_id = NodeId(n as u32);
@@ -420,13 +482,18 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             let port = params.injection_port(node_id.slot(&params));
             self.wheel.schedule(
                 self.cfg.injection_link_latency,
-                Event::ArriveRouter { router, port, vc: vc as u8, pkt },
+                Event::ArriveRouter { router, port, vc: vc as u8, pkt: id },
             );
         }
     }
 
     /// Separable iterative batch allocation for router `r`.
     fn allocate_router(&mut self, r: usize) {
+        // Event-driven short-circuit: a router with no resident input
+        // packet has nothing to allocate.
+        if self.routers[r].input_count == 0 {
+            return;
+        }
         let params = *self.topo.params();
         let radix = params.radix() as usize;
         let adaptive = self.policy.adaptive_reroute();
@@ -449,68 +516,60 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 if self.alloc_in_budget[in_port] == 0 {
                     continue;
                 }
+                // Ready-VC mask: only VCs with a resident packet are
+                // visited; empty ports cost one load.
+                let ready = self.routers[r].in_ready[in_port];
+                if ready == 0 {
+                    continue;
+                }
                 let vcs = self.routers[r].inputs[in_port].len() as u32;
                 let start = self.routers[r].in_rr[in_port];
-                let mut nominated = None;
                 for k in 0..vcs {
                     let vc = ((start + k) % vcs) as usize;
-                    if self.alloc_vc_granted[in_port * vc_stride + vc] {
+                    if ready & (1 << vc) == 0 || self.alloc_vc_granted[in_port * vc_stride + vc]
+                    {
+                        continue;
+                    }
+                    let id = self.routers[r].inputs[in_port][vc]
+                        .front()
+                        .expect("ready bit set on empty VC");
+                    // One arena read per candidate head.
+                    let (eligible, need_route, hdr, info, prior) = {
+                        let p = &self.arena[id];
+                        (
+                            p.eligible_at <= self.cycle,
+                            p.decision.is_none() || adaptive,
+                            p.header,
+                            p.route,
+                            p.decision,
+                        )
+                    };
+                    if !eligible {
                         continue;
                     }
                     // Decide routing for the head if needed.
-                    let need_route = {
-                        match self.routers[r].inputs[in_port][vc].front() {
-                            Some(p) if p.eligible_at <= self.cycle => {
-                                p.decision.is_none() || adaptive
-                            }
-                            _ => false,
-                        }
-                    };
-                    if need_route {
-                        let (hdr, info) = {
-                            let p = self.routers[r].inputs[in_port][vc]
-                                .front()
-                                .expect("head checked");
-                            (p.header, p.route)
-                        };
-                        let decision = self.policy.route(
+                    let decision = if need_route {
+                        let d = self.policy.route(
                             &self.routers[r],
                             Port(in_port as u32),
                             &hdr,
                             info,
                         );
-                        debug_assert!((decision.out_port.0 as usize) < radix);
-                        self.routers[r].inputs[in_port][vc]
-                            .front_mut()
-                            .expect("head checked")
-                            .decision = Some(decision);
-                    }
-                    let feasible = {
-                        match self.routers[r].inputs[in_port][vc].front() {
-                            Some(p) if p.eligible_at <= self.cycle => match p.decision {
-                                Some(d) => self.routers[r].can_accept(
-                                    d.out_port,
-                                    d.out_vc,
-                                    p.header.size,
-                                ),
-                                None => false,
-                            },
-                            _ => false,
-                        }
+                        debug_assert!((d.out_port.0 as usize) < radix);
+                        self.arena[id].decision = Some(d);
+                        d
+                    } else {
+                        prior.expect("committed decision")
                     };
-                    if feasible {
-                        nominated = Some(vc);
+                    if self.routers[r].can_accept(decision.out_port, decision.out_vc, hdr.size)
+                    {
+                        // Nominated: the port proposes this head (and only
+                        // this head) if the output still has grant budget.
+                        if self.alloc_out_budget[decision.out_port.idx()] > 0 {
+                            self.proposals[decision.out_port.idx()]
+                                .push((in_port as u32, vc as u8));
+                        }
                         break;
-                    }
-                }
-                if let Some(vc) = nominated {
-                    let out = self.routers[r].inputs[in_port][vc]
-                        .front()
-                        .and_then(|p| p.decision)
-                        .expect("nominated head has decision")
-                        .out_port;
-                    if self.alloc_out_budget[out.idx()] > 0 {
-                        self.proposals[out.idx()].push((in_port as u32, vc as u8));
                     }
                 }
             }
@@ -548,12 +607,16 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     fn arbitrate_output(&mut self, r: usize, out_port: usize) -> Option<(u32, u8)> {
         let props = &self.proposals[out_port];
         let router = &self.routers[r];
+        let arena = &self.arena;
         let still_feasible = |&(ip, vc): &(u32, u8)| -> bool {
             match router.inputs[ip as usize][vc as usize].front() {
-                Some(p) => match p.decision {
-                    Some(d) => router.can_accept(d.out_port, d.out_vc, p.header.size),
-                    None => false,
-                },
+                Some(id) => {
+                    let p = &arena[id];
+                    match p.decision {
+                        Some(d) => router.can_accept(d.out_port, d.out_vc, p.header.size),
+                        None => false,
+                    }
+                }
                 None => false,
             }
         };
@@ -584,7 +647,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 .min_by_key(|&&(ip, vc)| {
                     let gen = router.inputs[ip as usize][vc as usize]
                         .front()
-                        .map(|p| p.header.gen_cycle)
+                        .map(|id| arena[id].header.gen_cycle)
                         .unwrap_or(u64::MAX);
                     (gen, key_rr(ip))
                 })
@@ -600,19 +663,27 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     /// reserving downstream credit and returning upstream credit.
     fn commit_grant(&mut self, r: usize, in_port: usize, vc: usize, out_port: usize) {
         let params = *self.topo.params();
-        let mut pkt = self.routers[r].inputs[in_port][vc].pop().expect("granted head");
-        let size = pkt.header.size;
-        let decision = pkt.decision.take().expect("granted head has decision");
-        debug_assert_eq!(decision.out_port.idx(), out_port);
+        let id = self.routers[r].pop_input(in_port, vc);
+        let (size, decision) = {
+            let pkt = &mut self.arena[id];
+            let size = pkt.header.size;
+            let decision = pkt.decision.take().expect("granted head has decision");
+            debug_assert_eq!(decision.out_port.idx(), out_port);
 
-        // Wait accounting by input-port kind.
-        let wait = self.cycle.saturating_sub(pkt.eligible_at);
-        match params.port_kind(Port(in_port as u32)) {
-            PortKind::Injection => pkt.waits.injection += wait,
-            PortKind::Local => pkt.waits.local += wait,
-            PortKind::Global => pkt.waits.global += wait,
-        }
-        pkt.traversal += self.cfg.pipeline_latency;
+            // Wait accounting by input-port kind.
+            let wait = self.cycle.saturating_sub(pkt.eligible_at);
+            match params.port_kind(Port(in_port as u32)) {
+                PortKind::Injection => pkt.waits.injection += wait,
+                PortKind::Local => pkt.waits.local += wait,
+                PortKind::Global => pkt.waits.global += wait,
+            }
+            pkt.traversal += self.cfg.pipeline_latency;
+
+            // Commit the route state chosen by the policy.
+            pkt.route = decision.info;
+            pkt.out_enq_at = self.cycle;
+            (size, decision)
+        };
 
         // Fairness counters: packets leaving an injection input. The input
         // port of an injection grant *is* the node's slot on its router.
@@ -623,9 +694,12 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
 
         // Reserve downstream credit (transit outputs only).
         if !self.routers[r].credits[out_port].is_empty() {
-            let c = &mut self.routers[r].credits[out_port][decision.out_vc as usize];
-            debug_assert!(*c >= size, "allocator granted without credit");
-            *c -= size;
+            self.routers[r].reserve_credit(out_port, decision.out_vc as usize, size);
+        }
+        // The queue feeding a global link just grew (staged packet +
+        // reserved credit): PiggyBack's view of this router is stale.
+        if params.port_kind(Port(out_port as u32)) == PortKind::Global {
+            self.mark_global_dirty(r);
         }
 
         // Return credit upstream for the input space just freed.
@@ -646,14 +720,19 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             }
         }
 
-        // Commit the route state chosen by the policy and stage the packet.
-        pkt.route = decision.info;
-        pkt.out_enq_at = self.cycle;
-        self.routers[r].outputs[out_port].push(Staged { pkt, out_vc: decision.out_vc });
+        self.routers[r].stage_output(
+            out_port,
+            Staged { pkt: id, size, out_vc: decision.out_vc },
+        );
     }
 
     /// Start link transmissions from output buffers.
     fn transmit_outputs(&mut self, r: usize) {
+        // Event-driven short-circuit: nothing staged anywhere on this
+        // router.
+        if self.routers[r].staged_count == 0 {
+            return;
+        }
         let params = *self.topo.params();
         let radix = params.radix() as usize;
         for out_port in 0..radix {
@@ -664,29 +743,33 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             if !ready {
                 continue;
             }
-            let mut staged = self.routers[r].outputs[out_port].pop_for_tx().expect("non-empty");
-            let size = staged.pkt.header.size;
+            let staged = self.routers[r].pop_output(out_port);
+            let size = staged.size;
             let flat = r * radix + out_port;
             let latency = self.latencies[flat];
             // Output-side waiting, attributed by output-port kind
             // (ejection counts as local — it is intra-"last-hop" HoL).
-            let wait = self.cycle - staged.pkt.out_enq_at;
+            let pkt = &mut self.arena[staged.pkt];
+            let wait = self.cycle - pkt.out_enq_at;
             match params.port_kind(Port(out_port as u32)) {
-                PortKind::Injection | PortKind::Local => staged.pkt.waits.local += wait,
-                PortKind::Global => staged.pkt.waits.global += wait,
+                PortKind::Injection | PortKind::Local => pkt.waits.local += wait,
+                PortKind::Global => pkt.waits.global += wait,
             }
             self.routers[r].outputs[out_port].link_free_at = self.cycle + size as u64;
             self.routers[r].outputs[out_port].release(size);
+            if params.port_kind(Port(out_port as u32)) == PortKind::Global {
+                self.mark_global_dirty(r);
+            }
             match self.peers[flat] {
                 PortTarget::Node(node) => {
-                    staged.pkt.traversal += latency + size as u64;
+                    self.arena[staged.pkt].traversal += latency + size as u64;
                     self.wheel.schedule(
                         latency + size as u64,
                         Event::ArriveNode { node, pkt: staged.pkt },
                     );
                 }
                 PortTarget::Router { router, port } => {
-                    staged.pkt.traversal += latency;
+                    self.arena[staged.pkt].traversal += latency;
                     self.wheel.schedule(
                         latency,
                         Event::ArriveRouter {
@@ -896,7 +979,14 @@ mod tests {
                     "credits leaked at router {:?} port {port}",
                     r.id()
                 );
+                assert_eq!(
+                    r.downstream_occupied(Port(port as u32)),
+                    0,
+                    "cached downstream occupancy out of sync at {:?} port {port}",
+                    r.id()
+                );
             }
+            assert!(r.in_ready.iter().all(|&m| m == 0), "stale ready bits");
         }
         for node in &net.nodes {
             assert!(node.queue.is_empty());
@@ -904,6 +994,39 @@ mod tests {
             assert_eq!(total, net.cfg.injection_input_buffer * net.cfg.vcs_injection as u32);
         }
         assert_eq!(net.events_pending(), 0);
+        // Arena integrity: every slot freed, capacity bounded by the peak.
+        assert_eq!(net.arena_live(), 0, "arena leaked packets");
+        assert!(net.arena_capacity() > 0);
+    }
+
+    #[test]
+    fn arena_capacity_stabilizes_in_steady_state() {
+        // Once warm, offer/deliver cycles must reuse freed slots instead
+        // of growing the slab: no per-packet allocation in steady state.
+        let mut net = small_net();
+        let nodes = net.topology().params().nodes();
+        for round in 0..40u32 {
+            for n in (0..nodes).step_by(3) {
+                net.offer(NodeId(n), NodeId((n + 7 + round) % nodes));
+            }
+            net.step();
+        }
+        assert!(net.drain(50_000));
+        let warm_capacity = net.arena_capacity();
+        // Same workload again: the arena must not grow.
+        for round in 0..40u32 {
+            for n in (0..nodes).step_by(3) {
+                net.offer(NodeId(n), NodeId((n + 7 + round) % nodes));
+            }
+            net.step();
+        }
+        assert!(net.drain(50_000));
+        assert_eq!(
+            net.arena_capacity(),
+            warm_capacity,
+            "steady-state run grew the arena (per-packet allocation)"
+        );
+        assert_eq!(net.arena_live(), 0);
     }
 
     #[test]

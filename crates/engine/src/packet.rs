@@ -3,8 +3,10 @@
 use df_topology::{GroupId, NodeId, Port};
 use serde::{Deserialize, Serialize};
 
-/// Monotonic packet identifier (unique per simulation).
-pub type PacketId = u64;
+/// Monotonic packet sequence number (unique per simulation). Not to be
+/// confused with [`crate::arena::PacketId`], the reusable arena handle of
+/// a live packet.
+pub type PacketSeq = u64;
 
 /// Which leg of a (possibly non-minimal) route the packet is on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,8 +62,8 @@ impl RouteInfo {
 /// policy never needs a borrow into router buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PacketHeader {
-    /// Unique id.
-    pub id: PacketId,
+    /// Unique sequence number.
+    pub id: PacketSeq,
     /// Source node.
     pub src: NodeId,
     /// Destination node.
@@ -127,7 +129,7 @@ pub struct Decision {
 
 impl Packet {
     /// Create a freshly generated packet.
-    pub fn new(id: PacketId, src: NodeId, dst: NodeId, size: u32, gen_cycle: u64, src_group: GroupId) -> Self {
+    pub fn new(id: PacketSeq, src: NodeId, dst: NodeId, size: u32, gen_cycle: u64, src_group: GroupId) -> Self {
         Self {
             header: PacketHeader { id, src, dst, size, gen_cycle },
             route: RouteInfo::new(src_group),

@@ -4,19 +4,37 @@ use crate::packet::{Decision, DeliveredRecord, PacketHeader, RouteInfo};
 use crate::router::RouterState;
 use df_topology::Port;
 
+/// Per-cycle context handed to [`RoutingPolicy::begin_cycle`].
+///
+/// Besides the router slice, it carries the engine's change-tracking for
+/// global-link queues: policies that maintain a derived congestion view
+/// (e.g. PiggyBack's saturation flags) only need to refresh the routers
+/// in [`CycleCtx::dirty_global`] instead of rescanning the network.
+pub struct CycleCtx<'a> {
+    /// All routers, indexed by router id (congestion probes are O(1)).
+    pub routers: &'a [RouterState],
+    /// The cycle about to be simulated.
+    pub cycle: u64,
+    /// Indices of routers whose global-link output queues (staged phits
+    /// or consumed downstream credits) changed since the previous cycle's
+    /// `begin_cycle`, deduplicated, in first-change order. Routers absent
+    /// from this list have bit-identical global-queue depths.
+    pub dirty_global: &'a [u32],
+}
+
 /// A routing mechanism, called by the engine for every head packet that
 /// needs an output decision.
 ///
 /// Implementations live in `df-routing`. The engine guarantees:
 /// * `begin_cycle` runs once per simulated cycle, before any allocation,
-///   with read access to every router (used e.g. by PiggyBack's group-wide
-///   saturation exchange);
+///   with read access to every router and the dirty-router list (used
+///   e.g. by PiggyBack's incremental group-wide saturation exchange);
 /// * `route` sees a consistent congestion snapshot of the current router
 ///   and must return a decision whose output port is valid for the packet
 ///   (the engine enforces buffer/credit feasibility, not path validity).
 pub trait RoutingPolicy {
     /// Per-cycle hook before allocation (congestion-state exchange).
-    fn begin_cycle(&mut self, _routers: &[RouterState], _cycle: u64) {}
+    fn begin_cycle(&mut self, _ctx: &CycleCtx<'_>) {}
 
     /// Decide the output (port, VC, updated route state) for the head
     /// packet `hdr` with route state `info`, currently at `router` on
@@ -47,8 +65,8 @@ pub trait StatsSink {
 }
 
 impl<T: RoutingPolicy + ?Sized> RoutingPolicy for Box<T> {
-    fn begin_cycle(&mut self, routers: &[RouterState], cycle: u64) {
-        (**self).begin_cycle(routers, cycle)
+    fn begin_cycle(&mut self, ctx: &CycleCtx<'_>) {
+        (**self).begin_cycle(ctx)
     }
 
     fn route(

@@ -1,7 +1,19 @@
 //! Per-router state: input VCs, output buffers, downstream credits, and
 //! the congestion views consumed by adaptive routing policies.
+//!
+//! All buffer and credit mutations go through the `push_input` /
+//! `pop_input` / `stage_output` / `pop_output` / `reserve_credit` /
+//! `return_credit` methods, which keep three derived structures in sync:
+//!
+//! * `in_ready` — a bitmask of non-empty VCs per input port, so the
+//!   switch allocator only visits occupied VCs;
+//! * `input_count` / `staged_count` — router-level packet counts, so
+//!   idle routers are skipped outright;
+//! * `downstream_used` — cached consumed-credit phits per output port,
+//!   making every congestion probe O(1) instead of O(VCs).
 
-use crate::buffer::{OutputBuffer, VcBuffer};
+use crate::arena::PacketId;
+use crate::buffer::{OutputBuffer, Staged, VcBuffer};
 use crate::config::EngineConfig;
 use df_topology::{DragonflyParams, Port, PortKind, PortLayout, RouterId};
 
@@ -19,10 +31,21 @@ pub struct RouterState {
     pub(crate) credits: Vec<Vec<u32>>,
     /// Capacity behind each credit counter (for occupancy views).
     pub(crate) credit_caps: Vec<Vec<u32>>,
+    /// Cached consumed downstream phits per output port (sum over VCs of
+    /// `cap - credits`), maintained by `reserve_credit`/`return_credit`.
+    downstream_used: Vec<u32>,
+    /// Precomputed total downstream capacity per output port.
+    downstream_cap: Vec<u32>,
     /// Round-robin pointer per input port (over its VCs).
     pub(crate) in_rr: Vec<u32>,
     /// Round-robin pointer per output port (over input ports).
     pub(crate) out_rr: Vec<u32>,
+    /// Bitmask of non-empty VCs per input port (the ready-VC list).
+    pub(crate) in_ready: Vec<u32>,
+    /// Packets resident across all input VCs.
+    pub(crate) input_count: u32,
+    /// Packets staged across all output buffers.
+    pub(crate) staged_count: u32,
 }
 
 /// Number of VCs for a port of the given kind under `cfg`.
@@ -71,14 +94,20 @@ impl RouterState {
             credits.push(vec![dcap; dvcs]);
             credit_caps.push(vec![dcap; dvcs]);
         }
+        let downstream_cap = credit_caps.iter().map(|caps| caps.iter().sum()).collect();
         Self {
             id,
             inputs,
             outputs,
             credits,
             credit_caps,
+            downstream_used: vec![0; radix],
+            downstream_cap,
             in_rr: vec![0; radix],
             out_rr: vec![0; radix],
+            in_ready: vec![0; radix],
+            input_count: 0,
+            staged_count: 0,
         }
     }
 
@@ -87,6 +116,67 @@ impl RouterState {
     pub fn id(&self) -> RouterId {
         self.id
     }
+
+    // ------------------------------------------------------------------
+    // Buffer / credit mutations (keep the derived state in sync)
+    // ------------------------------------------------------------------
+
+    /// Enqueue an arriving packet on `port`, VC `vc`.
+    pub(crate) fn push_input(&mut self, port: usize, vc: usize, id: PacketId, size: u32) {
+        self.inputs[port][vc].push(id, size);
+        self.in_ready[port] |= 1 << vc;
+        self.input_count += 1;
+    }
+
+    /// Dequeue the head packet of `port`, VC `vc`.
+    ///
+    /// # Panics
+    /// Panics if the VC is empty.
+    pub(crate) fn pop_input(&mut self, port: usize, vc: usize) -> PacketId {
+        let buf = &mut self.inputs[port][vc];
+        let id = buf.pop().expect("pop from empty input VC");
+        if buf.is_empty() {
+            self.in_ready[port] &= !(1 << vc);
+        }
+        self.input_count -= 1;
+        id
+    }
+
+    /// Consume downstream credit on `port`, VC `vc` (grant committed).
+    pub(crate) fn reserve_credit(&mut self, port: usize, vc: usize, size: u32) {
+        let c = &mut self.credits[port][vc];
+        debug_assert!(*c >= size, "allocator granted without credit");
+        *c -= size;
+        self.downstream_used[port] += size;
+    }
+
+    /// Return downstream credit on `port`, VC `vc` (space freed below).
+    pub(crate) fn return_credit(&mut self, port: usize, vc: usize, phits: u32) {
+        let c = &mut self.credits[port][vc];
+        *c += phits;
+        debug_assert!(*c <= self.credit_caps[port][vc], "credit overflow");
+        self.downstream_used[port] -= phits;
+    }
+
+    /// Stage a granted packet at output `port`.
+    pub(crate) fn stage_output(&mut self, port: usize, staged: Staged) {
+        self.outputs[port].push(staged);
+        self.staged_count += 1;
+    }
+
+    /// Dequeue the head of output `port` for transmission.
+    ///
+    /// # Panics
+    /// Panics if the output buffer is empty.
+    pub(crate) fn pop_output(&mut self, port: usize) -> Staged {
+        let staged = self.outputs[port].pop_for_tx().expect("pop from empty output");
+        self.staged_count -= 1;
+        staged
+    }
+
+    // ------------------------------------------------------------------
+    // Congestion views (all O(1))
+    // ------------------------------------------------------------------
 
     /// Credits (phits of downstream space) available on `port`, VC `vc`.
     #[inline]
@@ -97,14 +187,15 @@ impl RouterState {
     /// Total downstream space consumed across all VCs of `port`, in phits.
     /// This is the "credit count" congestion signal the paper's adaptive
     /// mechanisms consult.
+    #[inline]
     pub fn downstream_occupied(&self, port: Port) -> u32 {
-        let (cr, caps) = (&self.credits[port.idx()], &self.credit_caps[port.idx()]);
-        caps.iter().zip(cr).map(|(cap, c)| cap - c).sum()
+        self.downstream_used[port.idx()]
     }
 
     /// Total downstream capacity across all VCs of `port`, in phits.
+    #[inline]
     pub fn downstream_capacity(&self, port: Port) -> u32 {
-        self.credit_caps[port.idx()].iter().sum()
+        self.downstream_cap[port.idx()]
     }
 
     /// Occupancy fraction of the queue feeding `port`: staged output
@@ -120,6 +211,7 @@ impl RouterState {
 
     /// Queue length feeding `port` in phits (output buffer + consumed
     /// downstream space). The PiggyBack saturation estimate uses this.
+    #[inline]
     pub fn output_queue_phits(&self, port: Port) -> u32 {
         self.outputs[port.idx()].occupancy() + self.downstream_occupied(port)
     }
@@ -164,12 +256,12 @@ impl RouterState {
 
     /// Resident packets across all input VCs (diagnostics / drain checks).
     pub fn input_packets(&self) -> usize {
-        self.inputs.iter().flatten().map(|vc| vc.len()).sum()
+        self.input_count as usize
     }
 
     /// Staged packets across all output buffers.
     pub fn output_packets(&self) -> usize {
-        self.outputs.iter().map(|o| o.len()).sum()
+        self.staged_count as usize
     }
 
     /// Input-VC occupancy in phits for `port`, VC `vc` (resident packets).
@@ -177,8 +269,9 @@ impl RouterState {
         self.inputs[port.idx()][vc as usize].occupancy()
     }
 
-    /// Head packet of an input VC, if any (diagnostics).
-    pub fn head(&self, port: Port, vc: u8) -> Option<&crate::packet::Packet> {
+    /// Head packet handle of an input VC, if any (diagnostics; resolve
+    /// through [`crate::network::Network::packet`]).
+    pub fn head(&self, port: Port, vc: u8) -> Option<PacketId> {
         self.inputs[port.idx()][vc as usize].front()
     }
 }
@@ -219,6 +312,8 @@ mod tests {
             assert_eq!(r.output_congestion(Port(q)), 0.0);
             assert_eq!(r.output_queue_phits(Port(q)), 0);
         }
+        assert_eq!(r.input_count, 0);
+        assert_eq!(r.staged_count, 0);
     }
 
     #[test]
@@ -226,7 +321,7 @@ mod tests {
         let (params, _, mut r) = setup();
         let gp = Port(params.p + params.a - 1);
         assert!(r.can_accept(gp, 0, 8));
-        r.credits[gp.idx()][0] = 4;
+        r.reserve_credit(gp.idx(), 0, 252);
         assert!(!r.can_accept(gp, 0, 8));
         assert!(r.can_accept(gp, 1, 8));
     }
@@ -244,11 +339,42 @@ mod tests {
         let (params, _, mut r) = setup();
         let gp = Port(params.p + params.a - 1);
         assert_eq!(r.downstream_occupied(gp), 0);
-        r.credits[gp.idx()][0] -= 8;
-        r.credits[gp.idx()][1] -= 16;
+        r.reserve_credit(gp.idx(), 0, 8);
+        r.reserve_credit(gp.idx(), 1, 16);
         assert_eq!(r.downstream_occupied(gp), 24);
         assert_eq!(r.downstream_capacity(gp), 512);
         let c = r.output_congestion(gp);
         assert!((c - 24.0 / (512.0 + 32.0)).abs() < 1e-12);
+        r.return_credit(gp.idx(), 0, 8);
+        assert_eq!(r.downstream_occupied(gp), 16);
+    }
+
+    #[test]
+    fn ready_mask_follows_push_pop() {
+        let (_, _, mut r) = setup();
+        assert_eq!(r.in_ready[0], 0);
+        r.push_input(0, 1, PacketId(0), 8);
+        r.push_input(0, 1, PacketId(1), 8);
+        r.push_input(0, 2, PacketId(2), 8);
+        assert_eq!(r.in_ready[0], 0b110);
+        assert_eq!(r.input_packets(), 3);
+        assert_eq!(r.pop_input(0, 1), PacketId(0));
+        // VC 1 still occupied: bit stays set.
+        assert_eq!(r.in_ready[0], 0b110);
+        r.pop_input(0, 1);
+        assert_eq!(r.in_ready[0], 0b100);
+        r.pop_input(0, 2);
+        assert_eq!(r.in_ready[0], 0);
+        assert_eq!(r.input_packets(), 0);
+    }
+
+    #[test]
+    fn staged_count_follows_outputs() {
+        let (_, _, mut r) = setup();
+        r.stage_output(3, Staged { pkt: PacketId(9), size: 8, out_vc: 0 });
+        assert_eq!(r.output_packets(), 1);
+        let s = r.pop_output(3);
+        assert_eq!(s.pkt, PacketId(9));
+        assert_eq!(r.output_packets(), 0);
     }
 }

@@ -51,7 +51,12 @@ impl Histogram {
     }
 
     /// The smallest value `v` such that at least `q` (0..=1) of samples
-    /// are `<= v` (bucket upper bound; `None` if empty or in overflow).
+    /// are `<= v` (bucket upper bound). `None` only when the histogram is
+    /// empty; a quantile falling in the overflow bucket clamps to the
+    /// histogram range cap (`bins * bin_width`) — a lower bound on the
+    /// true quantile — so the metric stays total and monotone for
+    /// heavy-tailed distributions instead of conflating "tail beyond the
+    /// range" with "no samples".
     pub fn quantile(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q));
         if self.total == 0 {
@@ -65,7 +70,8 @@ impl Histogram {
                 return Some((i as u64 + 1) * self.bin_width);
             }
         }
-        None // in overflow
+        // In overflow: clamp to the range cap.
+        Some(self.counts.len() as u64 * self.bin_width)
     }
 }
 
@@ -94,6 +100,19 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(50));
         assert_eq!(h.quantile(0.99), Some(99));
         assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn overflow_quantiles_clamp_to_range_cap() {
+        let mut h = Histogram::new(10, 5); // range [0, 50)
+        for _ in 0..9 {
+            h.add(5);
+        }
+        h.add(1_000_000); // heavy tail beyond the range
+        assert_eq!(h.quantile(0.5), Some(10));
+        // p99 lands on the overflow sample: clamped, not None.
+        assert_eq!(h.quantile(0.99), Some(50));
+        assert_eq!(h.quantile(1.0), Some(50));
     }
 
     #[test]

@@ -293,4 +293,31 @@ fn advc_aggressor_starves_victim_under_in_transit_crg_only() {
     // The aggressor's own bottleneck nodes are starved too (per-node
     // fairness collapses only under the adaptive mechanism).
     assert!(adaptive.per_job[0].fairness.cov > 2.0 * oblivious.per_job[0].fairness.cov);
+    // Per-job latency percentiles: present, ordered, and consistent with
+    // the mean for both jobs under both mechanisms.
+    for (label, run) in [("adaptive", &adaptive), ("oblivious", &oblivious)] {
+        for job in &run.per_job {
+            let p50 = job.p50_latency.unwrap_or_else(|| panic!("{label}/{}: no p50", job.job));
+            let p95 = job.p95_latency.unwrap();
+            let p99 = job.p99_latency.unwrap();
+            assert!(
+                p50 <= p95 && p95 <= p99,
+                "{label}/{}: percentiles out of order ({p50}, {p95}, {p99})",
+                job.job
+            );
+            // The mean cannot exceed p99 by more than one histogram bin.
+            assert!(
+                p99 as f64 + 50.0 >= job.avg_latency,
+                "{label}/{}: p99 {p99} vs mean {}",
+                job.job,
+                job.avg_latency
+            );
+        }
+    }
+    // The congested victim's tail must be visibly heavier under the
+    // adaptive mechanism that starves it.
+    assert!(
+        victim_adaptive.p99_latency.unwrap() > victim_oblivious.p99_latency.unwrap(),
+        "starved victim should show a heavier latency tail"
+    );
 }

@@ -10,10 +10,32 @@
 //! No statistical analysis, plots, or saved baselines. When the binary is
 //! invoked with `--test` (as `cargo test` does for harness-less bench
 //! targets), every benchmark body runs exactly once as a smoke test.
+//!
+//! ## Machine-readable summaries
+//!
+//! When the `BENCH_JSON_DIR` environment variable is set (and the harness
+//! is measuring, not smoke-testing), [`criterion_main!`] writes
+//! `BENCH_<name>.json` into that directory — `<name>` being the bench
+//! target's file stem — with one record per benchmark: id, median/min/max
+//! ns per iteration, sample count, and batch size. This is the perf
+//! trajectory record CI archives between runs.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One measured benchmark result, collected for the JSON summary.
+struct Record {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    batch: u64,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 /// Measurement entry point handed to every benchmark closure.
 pub struct Bencher {
@@ -68,15 +90,86 @@ impl Bencher {
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let median = per_iter[per_iter.len() / 2];
         let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        let id = CURRENT.with(|c| c.borrow().clone());
         println!(
             "{:<50} {:>12}/iter  [{} .. {}]  ({} samples of {batch})",
-            CURRENT.with(|c| c.borrow().clone()),
+            id,
             fmt_ns(median),
             fmt_ns(lo),
             fmt_ns(hi),
             per_iter.len(),
         );
+        RESULTS.lock().unwrap().push(Record {
+            id,
+            median_ns: median,
+            min_ns: lo,
+            max_ns: hi,
+            samples: per_iter.len(),
+            batch,
+        });
     }
+}
+
+/// Write the collected results as `BENCH_<name>.json` under
+/// `$BENCH_JSON_DIR`, if that variable is set and anything was measured.
+/// Called by [`criterion_main!`] after all groups have run.
+pub fn write_bench_json() {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else { return };
+    let results = RESULTS.lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let name = bench_target_name();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n", escape(&name)));
+    json.push_str("  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"batch\": {}}}{}\n",
+            escape(&r.id),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.batch,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if std::fs::create_dir_all(&dir).is_err() {
+        eprintln!("criterion: cannot create BENCH_JSON_DIR {dir}");
+        return;
+    }
+    let path = format!("{dir}/BENCH_{name}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("criterion: cannot write {path}: {e}"),
+    }
+}
+
+/// The bench target's name: the executable's file stem with the trailing
+/// `-<16 hex>` cargo hash stripped.
+fn bench_target_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -195,11 +288,14 @@ macro_rules! criterion_group {
 }
 
 /// Produce the `main` function for a bench binary (`harness = false`).
+/// After all groups have run, the collected results are written as a
+/// `BENCH_<name>.json` summary if `BENCH_JSON_DIR` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_json();
         }
     };
 }
