@@ -29,11 +29,25 @@ cargo bench -p df-bench -- --test
 echo "==> end-to-end bench smoke (full warm-up + measurement unit, once)"
 cargo bench -p df-bench --bench end_to_end -- --test
 
-echo "==> record perf trajectory (bench-results/BENCH_*.json)"
+echo "==> record perf trajectory (bench-results/BENCH_*.json) + regression gate"
 # Absolute path: cargo bench runs the binaries with cwd = the bench
 # package directory, so a relative dir would land in crates/bench/.
-mkdir -p bench-results
-BENCH_JSON_DIR="$PWD/bench-results" cargo bench -p df-bench --bench router_step
-BENCH_JSON_DIR="$PWD/bench-results" cargo bench -p df-bench --bench allocator
+# Fresh results land in staging dirs first; bench_trend merges the runs
+# (per-id median — the loaded full-network cycle drifts with network
+# fill, so a single run is too noisy to gate on), diffs them against the
+# previous artifacts, fails on a >10% median regression, and promotes
+# the merged result into bench-results/ (export
+# BENCH_TREND_FLAGS=--allow-regress for warn-only, as CI does —
+# shared-runner timings are noisier still).
+fresh_dir="$(mktemp -d)"
+trap 'rm -rf "$fresh_dir"' EXIT
+for i in 1 2 3 4; do
+    BENCH_JSON_DIR="$fresh_dir/run$i" cargo bench -p df-bench --bench router_step
+done
+BENCH_JSON_DIR="$fresh_dir/run1" cargo bench -p df-bench --bench allocator
+# shellcheck disable=SC2086 # BENCH_TREND_FLAGS is intentionally word-split
+cargo run --release -p df-bench --bin bench_trend -- \
+    ${BENCH_TREND_FLAGS:-} --baseline bench-results --promote bench-results \
+    "$fresh_dir"/run1 "$fresh_dir"/run2 "$fresh_dir"/run3 "$fresh_dir"/run4
 
 echo "CI gate passed."

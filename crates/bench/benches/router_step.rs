@@ -32,6 +32,14 @@ fn bench_step(c: &mut Criterion) {
         b.iter(|| net.step())
     });
 
+    c.bench_function("engine/cycle_idle_5256_nodes", |b| {
+        // The work-list-driven scheduler makes the idle cycle O(active
+        // entities), so paper scale should idle nearly as cheaply as the
+        // reduced network despite 15× the nodes.
+        let mut net = loaded_network(DragonflyParams::paper(), 0);
+        b.iter(|| net.step())
+    });
+
     c.bench_function("engine/cycle_loaded_342_nodes", |b| {
         let mut net = loaded_network(small, 20);
         b.iter(|| {

@@ -1,0 +1,305 @@
+//! Perf-trajectory regression gate: merge freshly emitted criterion
+//! summaries (`BENCH_<name>.json`, written when `BENCH_JSON_DIR` is set)
+//! across one or more runs, diff them against the previous artifacts in
+//! `bench-results/`, flag regressions, and optionally promote the merged
+//! result as the new artifact.
+//!
+//! ```text
+//! bench_trend [--threshold PCT] [--allow-regress] \
+//!             [--baseline DIR] [--promote DIR] FRESH_DIR...
+//! ```
+//!
+//! * `FRESH_DIR...` — one directory per recorded run; several runs of
+//!   the same bench target are merged per benchmark id (median of the
+//!   run medians, min of mins, max of maxs). Loaded full-network cycles
+//!   drift with network fill, so single runs are too noisy to gate on —
+//!   `ci.sh` records four `router_step` runs and diffs the median.
+//! * `--baseline DIR` — previous artifacts (default `bench-results`),
+//! * `--threshold PCT` — regression tolerance on the merged median, in
+//!   percent (default 10),
+//! * `--allow-regress` — print the delta table and warn, but always
+//!   exit zero (the CI escape hatch; local `ci.sh` gates by default),
+//! * `--promote DIR` — on a passing (or `--allow-regress`) exit, write
+//!   the merged `BENCH_<name>.json` files into `DIR`, making them the
+//!   baseline for the next invocation.
+//!
+//! Ids without a baseline (new benchmarks, or a first run) are reported
+//! as `new` and never gate. Exit status is 1 iff any id regressed by
+//! more than the threshold and `--allow-regress` was not given.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One benchmark record inside a `BENCH_<name>.json` summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: u64,
+    batch: u64,
+}
+
+/// A whole `BENCH_<name>.json` file.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    bench: String,
+    unit: String,
+    results: Vec<BenchRecord>,
+}
+
+struct Args {
+    fresh: Vec<PathBuf>,
+    baseline: PathBuf,
+    promote: Option<PathBuf>,
+    threshold_pct: f64,
+    allow_regress: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench_trend [--threshold PCT] [--allow-regress] [--baseline DIR] \
+         [--promote DIR] FRESH_DIR..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut fresh: Vec<PathBuf> = Vec::new();
+    let mut baseline = PathBuf::from("bench-results");
+    let mut promote = None;
+    let mut threshold_pct = 10.0;
+    let mut allow_regress = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t > 0.0)
+                    .unwrap_or_else(|| die("--threshold needs a positive percentage"));
+            }
+            "--allow-regress" => allow_regress = true,
+            "--baseline" => {
+                baseline =
+                    PathBuf::from(it.next().unwrap_or_else(|| die("--baseline needs a dir")));
+            }
+            "--promote" => {
+                promote = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--promote needs a dir")),
+                ));
+            }
+            other if !other.starts_with('-') => fresh.push(PathBuf::from(other)),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if fresh.is_empty() {
+        die("expected at least one FRESH_DIR");
+    }
+    Args { fresh, baseline, promote, threshold_pct, allow_regress }
+}
+
+/// Load every `BENCH_*.json` in `dir`, sorted by file name for stable
+/// output. A missing or empty directory yields an empty list.
+fn load_dir(dir: &Path) -> Vec<BenchFile> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            match serde_json::from_str::<BenchFile>(&text) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    eprintln!("bench_trend: skipping unparsable {}: {e}", p.display());
+                    None
+                }
+            }
+        })
+        .collect()
+}
+
+/// Merge several runs of the same bench target: per id, the median of
+/// the run medians (the regression signal), the min of mins and max of
+/// maxs (the observed spread), and the total sample count. Id order
+/// follows the first run that contains each id.
+fn merge_runs(runs: Vec<BenchFile>) -> BenchFile {
+    let bench = runs[0].bench.clone();
+    let unit = runs[0].unit.clone();
+    let mut ids: Vec<String> = Vec::new();
+    for run in &runs {
+        for rec in &run.results {
+            if !ids.contains(&rec.id) {
+                ids.push(rec.id.clone());
+            }
+        }
+    }
+    let results = ids
+        .iter()
+        .map(|id| {
+            let recs: Vec<&BenchRecord> = runs
+                .iter()
+                .flat_map(|r| r.results.iter().filter(|rec| &rec.id == id))
+                .collect();
+            let mut medians: Vec<f64> = recs.iter().map(|r| r.median_ns).collect();
+            medians.sort_by(|a, b| a.total_cmp(b));
+            let median_ns = if medians.len() % 2 == 1 {
+                medians[medians.len() / 2]
+            } else {
+                (medians[medians.len() / 2 - 1] + medians[medians.len() / 2]) / 2.0
+            };
+            BenchRecord {
+                id: id.clone(),
+                median_ns,
+                min_ns: recs.iter().map(|r| r.min_ns).fold(f64::INFINITY, f64::min),
+                max_ns: recs.iter().map(|r| r.max_ns).fold(0.0, f64::max),
+                samples: recs.iter().map(|r| r.samples).sum(),
+                batch: recs[0].batch,
+            }
+        })
+        .collect();
+    BenchFile { bench, unit, results }
+}
+
+/// Serialize a merged file with the same field names criterion emits
+/// (via serde, so the reader and writer can never drift apart).
+fn render(file: &BenchFile) -> String {
+    serde_json::to_string_pretty(file).expect("bench summary serializes")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // Group the fresh files by bench target across run directories.
+    let mut by_bench: Vec<(String, Vec<BenchFile>)> = Vec::new();
+    for dir in &args.fresh {
+        for file in load_dir(dir) {
+            match by_bench.iter_mut().find(|(name, _)| *name == file.bench) {
+                Some((_, runs)) => runs.push(file),
+                None => by_bench.push((file.bench.clone(), vec![file])),
+            }
+        }
+    }
+    if by_bench.is_empty() {
+        die("no BENCH_*.json found in the fresh dirs");
+    }
+    let merged: Vec<BenchFile> = by_bench
+        .into_iter()
+        .map(|(name, runs)| {
+            let n = runs.len();
+            let m = merge_runs(runs);
+            if n > 1 {
+                println!("bench `{name}`: merged {n} runs (median of run medians)");
+            }
+            m
+        })
+        .collect();
+    let baseline = load_dir(&args.baseline);
+
+    let mut regressions: Vec<String> = Vec::new();
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  status",
+        "benchmark", "old median", "new median", "delta"
+    );
+    for file in &merged {
+        let old = baseline.iter().find(|b| b.bench == file.bench);
+        for rec in &file.results {
+            let old_rec = old.and_then(|b| b.results.iter().find(|r| r.id == rec.id));
+            match old_rec {
+                None => {
+                    println!(
+                        "{:<45} {:>12} {:>12} {:>9}  new",
+                        rec.id,
+                        "-",
+                        fmt_ns(rec.median_ns),
+                        "-"
+                    );
+                }
+                Some(prev) => {
+                    let delta_pct = (rec.median_ns - prev.median_ns) / prev.median_ns * 100.0;
+                    let regressed = delta_pct > args.threshold_pct;
+                    let status = if regressed {
+                        "REGRESSED"
+                    } else if delta_pct < -args.threshold_pct {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "{:<45} {:>12} {:>12} {:>+8.1}%  {status}",
+                        rec.id,
+                        fmt_ns(prev.median_ns),
+                        fmt_ns(rec.median_ns),
+                        delta_pct
+                    );
+                    if regressed {
+                        regressions.push(format!(
+                            "{}: {} -> {} ({:+.1}%, spread {}..{})",
+                            rec.id,
+                            fmt_ns(prev.median_ns),
+                            fmt_ns(rec.median_ns),
+                            delta_pct,
+                            fmt_ns(rec.min_ns),
+                            fmt_ns(rec.max_ns),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let pass = regressions.is_empty();
+    if pass {
+        println!("\nbench_trend: no regression beyond {:.0}%", args.threshold_pct);
+    } else {
+        eprintln!(
+            "\nbench_trend: {} benchmark(s) regressed beyond {:.0}%:",
+            regressions.len(),
+            args.threshold_pct
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        if args.allow_regress {
+            eprintln!("bench_trend: --allow-regress set, exiting zero");
+        }
+    }
+    if pass || args.allow_regress {
+        if let Some(dir) = &args.promote {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                die(&format!("cannot create promote dir {}: {e}", dir.display()));
+            }
+            for file in &merged {
+                let path = dir.join(format!("BENCH_{}.json", file.bench));
+                match std::fs::write(&path, render(file)) {
+                    Ok(()) => println!("bench_trend: promoted {}", path.display()),
+                    Err(e) => die(&format!("cannot write {}: {e}", path.display())),
+                }
+            }
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

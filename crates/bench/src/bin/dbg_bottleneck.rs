@@ -1,8 +1,10 @@
 //! Diagnostic: watch the ADVc bottleneck router's global-port congestion
-//! and injection progress over time (not a paper figure).
+//! and injection progress over time (not a paper figure), plus a
+//! per-phase wall-clock breakdown of the engine cycle (deliver / policy /
+//! inject / allocate / transmit) to direct hot-path optimization work.
 
 use dragonfly_core::prelude::*;
-use dragonfly_core::df_engine::RouterState;
+use dragonfly_core::df_engine::{PhaseProfile, RouterState};
 
 fn main() {
     let mech = match std::env::args().nth(1).as_deref() {
@@ -21,9 +23,11 @@ fn main() {
     let a = params.a;
     let bottleneck = (a - 1) as usize; // router 5 of group 0
     println!("mech={} bottleneck=R{bottleneck}", mech.label());
+    let mut total = PhaseProfile::default();
     for t in 0..30 {
+        let mut chunk = PhaseProfile::default();
         for _ in 0..1000 {
-            sim.step();
+            sim.step_profiled(&mut chunk);
         }
         let net = sim.network();
         let counters = net.counters();
@@ -73,6 +77,29 @@ fn main() {
             counters.throughput(params.nodes()),
             net.in_flight(),
             occs,
+        );
+        let phases: Vec<String> = chunk
+            .phases()
+            .iter()
+            .map(|(label, ns)| format!("{label}={:.2}µs", *ns as f64 / 1e3 / chunk.cycles as f64))
+            .collect();
+        println!(
+            "          cycle={:.2}µs [{}]",
+            chunk.total_ns() as f64 / 1e3 / chunk.cycles as f64,
+            phases.join(" "),
+        );
+        total.absorb(&chunk);
+    }
+    println!(
+        "phase totals over {} cycles (mean {:.2}µs/cycle):",
+        total.cycles,
+        total.total_ns() as f64 / 1e3 / total.cycles as f64
+    );
+    for (label, ns) in total.phases() {
+        println!(
+            "  {label:<9} {:>8.2}µs/cycle  {:>5.1}%",
+            ns as f64 / 1e3 / total.cycles as f64,
+            ns as f64 / total.total_ns() as f64 * 100.0,
         );
     }
 }

@@ -51,11 +51,19 @@ impl VcBuffer {
         self.queue.front().map(|&(id, _)| id)
     }
 
-    /// Remove and return the head packet's handle.
-    pub fn pop(&mut self) -> Option<PacketId> {
+    /// The head packet's handle and size, if any. The allocator probe
+    /// uses this so it never has to touch the packet's cold arena slot
+    /// just to learn the size.
+    #[inline]
+    pub fn front_entry(&self) -> Option<(PacketId, u32)> {
+        self.queue.front().copied()
+    }
+
+    /// Remove and return the head packet's handle and size.
+    pub fn pop(&mut self) -> Option<(PacketId, u32)> {
         let (id, size) = self.queue.pop_front()?;
         self.occupancy -= size;
-        Some(id)
+        Some((id, size))
     }
 
     /// Occupied phits (resident packets only).
@@ -188,9 +196,10 @@ mod tests {
         vc.push(PacketId(2), 8);
         assert_eq!(vc.occupancy(), 16);
         assert_eq!(vc.len(), 2);
-        assert_eq!(vc.pop(), Some(PacketId(1)));
+        assert_eq!(vc.pop(), Some((PacketId(1), 8)));
         assert_eq!(vc.occupancy(), 8);
         assert_eq!(vc.front(), Some(PacketId(2)));
+        assert_eq!(vc.front_entry(), Some((PacketId(2), 8)));
     }
 
     #[test]

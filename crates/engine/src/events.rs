@@ -22,6 +22,9 @@ pub enum Event {
         vc: u8,
         /// The packet.
         pkt: PacketId,
+        /// Packet size in phits, carried in the event so the arrival
+        /// handler never reads the packet's cold arena slot.
+        size: u32,
     },
     /// Packet tail delivered to its destination node.
     ArriveNode {

@@ -29,10 +29,10 @@ mod packet;
 mod policy;
 mod router;
 
-pub use arena::{PacketArena, PacketId};
+pub use arena::{PacketArena, PacketCold, PacketId};
 pub use buffer::{OutputBuffer, Staged, VcBuffer};
 pub use config::{ArbiterPolicy, EngineConfig};
-pub use network::{Counters, Network};
+pub use network::{Counters, Network, PhaseProfile};
 pub use packet::{
     Decision, DeliveredRecord, Packet, PacketHeader, PacketSeq, Phase, RouteInfo, WaitBreakdown,
 };

@@ -1,12 +1,22 @@
 //! The assembled network: nodes, routers, links, and the per-cycle
 //! simulation loop (event delivery → injection → allocation → output).
 //!
-//! Packets live in a [`PacketArena`]; every queue and link event carries
-//! a `u32` [`PacketId`] handle, so the steady-state hot path performs no
-//! per-packet heap allocation. The allocator consults per-port ready-VC
-//! bitmasks (maintained on push/pop) and skips idle routers outright,
-//! and the engine tracks which routers' global-link queues changed each
-//! cycle so policies like PiggyBack can refresh their congestion view
+//! Packets live in a structure-of-arrays [`PacketArena`]; every queue and
+//! link event carries a `u32` [`PacketId`] handle, so the steady-state hot
+//! path performs no per-packet heap allocation and the allocator's
+//! per-candidate probe touches only the hot `eligible_at`/`decision`
+//! lanes. Scheduling is **work-list driven**: the engine maintains
+//! bitsets of nodes with queued packets, routers with resident input
+//! packets, and routers with staged output packets, so the inject /
+//! allocate / transmit phases iterate only over entities that can make
+//! progress this cycle instead of scanning the whole network (at paper
+//! scale under ADVc most routers are idle most cycles). All work lists
+//! are iterated in ascending index order, which keeps event-queue
+//! insertion order — and therefore same-seed results — bit-identical to
+//! the full scans they replace. The allocator additionally consults
+//! per-port ready-VC bitmasks and per-router ready-output masks, and the
+//! engine tracks which routers' global-link queues changed each cycle so
+//! policies like PiggyBack can refresh their congestion view
 //! incrementally (see [`CycleCtx`]).
 
 use crate::arena::{PacketArena, PacketId};
@@ -18,6 +28,80 @@ use crate::policy::{CycleCtx, RoutingPolicy, StatsSink};
 use crate::router::RouterState;
 use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, Topology};
 use std::collections::VecDeque;
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Work-list bitsets (u64 words, ascending-order iteration)
+// ----------------------------------------------------------------------
+
+/// Words needed for an `n`-bit set.
+#[inline]
+fn bitset_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1 << (i & 63));
+}
+
+#[inline]
+fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i >> 6] & (1 << (i & 63)) != 0
+}
+
+/// Wall-clock time spent in each phase of [`Network::step_timed`],
+/// accumulated across cycles. Drives the `dbg_bottleneck` per-phase
+/// breakdown; the regular [`Network::step`] takes no timing overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseProfile {
+    /// Event-wheel drain: link arrivals and credit returns.
+    pub deliver_ns: u64,
+    /// Routing-policy `begin_cycle` (congestion-state exchange).
+    pub policy_ns: u64,
+    /// Node-side injection (source queue → injection-port input buffer).
+    pub inject_ns: u64,
+    /// Switch allocation across all active routers.
+    pub allocate_ns: u64,
+    /// Output-buffer → link transmissions.
+    pub transmit_ns: u64,
+    /// Cycles accumulated into this profile.
+    pub cycles: u64,
+}
+
+impl PhaseProfile {
+    /// Total nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.deliver_ns + self.policy_ns + self.inject_ns + self.allocate_ns + self.transmit_ns
+    }
+
+    /// `(label, ns)` pairs in phase order, for reporting.
+    pub fn phases(&self) -> [(&'static str, u64); 5] {
+        [
+            ("deliver", self.deliver_ns),
+            ("policy", self.policy_ns),
+            ("inject", self.inject_ns),
+            ("allocate", self.allocate_ns),
+            ("transmit", self.transmit_ns),
+        ]
+    }
+
+    /// Fold another profile into this one (accumulating chunk profiles
+    /// into a run total).
+    pub fn absorb(&mut self, other: &PhaseProfile) {
+        self.deliver_ns += other.deliver_ns;
+        self.policy_ns += other.policy_ns;
+        self.inject_ns += other.inject_ns;
+        self.allocate_ns += other.allocate_ns;
+        self.transmit_ns += other.transmit_ns;
+        self.cycles += other.cycles;
+    }
+}
 
 /// Source-side state of a compute node.
 #[derive(Debug)]
@@ -109,6 +193,16 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     /// `begin_cycle` (deduplicated via `global_dirty` flags).
     global_dirty_list: Vec<u32>,
     global_dirty: Vec<bool>,
+    /// Work list: nodes with a non-empty source queue (bit set in
+    /// `offer`, cleared when the injection phase drains the queue).
+    node_active: Vec<u64>,
+    /// Work list: routers with at least one resident input packet
+    /// (maintained exactly on `push_input` / `pop_input`); the allocate
+    /// phase visits only these.
+    alloc_active: Vec<u64>,
+    /// Work list: routers with at least one staged output packet; the
+    /// transmit phase visits only these.
+    tx_active: Vec<u64>,
     /// Delivery cycle of the most recent grant anywhere (livelock guard).
     last_progress: u64,
 }
@@ -173,6 +267,9 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             vc_stride,
             global_dirty_list: Vec::new(),
             global_dirty: vec![false; n_routers],
+            node_active: vec![0; bitset_words(n_nodes)],
+            alloc_active: vec![0; bitset_words(n_routers)],
+            tx_active: vec![0; bitset_words(n_routers)],
             last_progress: 0,
         }
     }
@@ -238,11 +335,11 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.arena.capacity()
     }
 
-    /// Resolve a packet handle (diagnostics; handles come from
-    /// [`RouterState::head`]).
+    /// Resolve a packet handle to a joined snapshot of its hot and cold
+    /// arena lanes (diagnostics; handles come from [`RouterState::head`]).
     #[inline]
-    pub fn packet(&self, id: PacketId) -> &Packet {
-        &self.arena[id]
+    pub fn packet(&self, id: PacketId) -> Packet {
+        self.arena.snapshot(id)
     }
 
     /// Events (packets and credits) currently traversing links.
@@ -280,6 +377,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             .arena
             .insert(Packet::new(seq, src, dst, self.cfg.packet_size, gen, group));
         self.nodes[src.idx()].queue.push_back(id);
+        set_bit(&mut self.node_active, src.idx());
         self.counters.accepted_packets += 1;
         self.live_packets += 1;
         true
@@ -290,6 +388,39 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.cycle += 1;
         self.counters.cycles += 1;
         self.deliver_events();
+        self.run_policy_begin();
+        self.inject_from_nodes();
+        self.allocate_all();
+        self.transmit_all();
+    }
+
+    /// Advance one cycle like [`Self::step`], accumulating per-phase
+    /// wall-clock time into `profile` (diagnostics; the untimed `step`
+    /// pays no instrumentation cost).
+    pub fn step_timed(&mut self, profile: &mut PhaseProfile) {
+        self.cycle += 1;
+        self.counters.cycles += 1;
+        let t0 = Instant::now();
+        self.deliver_events();
+        let t1 = Instant::now();
+        self.run_policy_begin();
+        let t2 = Instant::now();
+        self.inject_from_nodes();
+        let t3 = Instant::now();
+        self.allocate_all();
+        let t4 = Instant::now();
+        self.transmit_all();
+        let t5 = Instant::now();
+        profile.deliver_ns += (t1 - t0).as_nanos() as u64;
+        profile.policy_ns += (t2 - t1).as_nanos() as u64;
+        profile.inject_ns += (t3 - t2).as_nanos() as u64;
+        profile.allocate_ns += (t4 - t3).as_nanos() as u64;
+        profile.transmit_ns += (t5 - t4).as_nanos() as u64;
+        profile.cycles += 1;
+    }
+
+    /// Run the policy's per-cycle hook and retire the dirty-router list.
+    fn run_policy_begin(&mut self) {
         self.policy.begin_cycle(&CycleCtx {
             routers: &self.routers,
             cycle: self.cycle,
@@ -299,12 +430,34 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             self.global_dirty[r as usize] = false;
         }
         self.global_dirty_list.clear();
-        self.inject_from_nodes();
-        for r in 0..self.routers.len() {
-            self.allocate_router(r);
+    }
+
+    /// Allocate phase over the active-router work list (ascending order —
+    /// identical side-effect order to a full `0..routers` scan, which
+    /// only no-ops on the skipped routers).
+    fn allocate_all(&mut self) {
+        for w in 0..self.alloc_active.len() {
+            // Snapshot the word: `commit_grant` may clear the current
+            // router's bit (never a later router's), and allocation
+            // cannot add input packets mid-phase.
+            let mut word = self.alloc_active[w];
+            while word != 0 {
+                let r = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.allocate_router(r);
+            }
         }
-        for r in 0..self.routers.len() {
-            self.transmit_outputs(r);
+    }
+
+    /// Transmit phase over the staged-router work list (ascending order).
+    fn transmit_all(&mut self) {
+        for w in 0..self.tx_active.len() {
+            let mut word = self.tx_active[w];
+            while word != 0 {
+                let r = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.transmit_outputs(r);
+            }
         }
     }
 
@@ -343,7 +496,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             for (q, vcs) in router.inputs.iter().enumerate() {
                 for (v, buf) in vcs.iter().enumerate() {
                     if let Some(id) = buf.front() {
-                        let p = &self.arena[id];
+                        let p = self.arena.snapshot(id);
                         if p.eligible_at > self.cycle {
                             continue;
                         }
@@ -376,6 +529,45 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         }
     }
 
+    /// Shadow check: verify every scheduling work list against a full
+    /// `0..routers` / `0..nodes` scan of the underlying state. Visiting
+    /// exactly the flagged entities is equivalent to the full scan iff
+    /// every unflagged entity has nothing to do — this asserts that
+    /// invariant. Panics with a diagnostic on the first divergence.
+    /// Intended for tests; cost is O(network).
+    pub fn assert_work_lists_match_full_scan(&self) {
+        for (r, router) in self.routers.iter().enumerate() {
+            assert_eq!(
+                get_bit(&self.alloc_active, r),
+                router.input_packets() > 0,
+                "alloc work list diverged from input_count at router {r}, cycle {}",
+                self.cycle
+            );
+            assert_eq!(
+                get_bit(&self.tx_active, r),
+                router.output_packets() > 0,
+                "tx work list diverged from staged_count at router {r}, cycle {}",
+                self.cycle
+            );
+            for q in 0..self.topo.params().radix() as usize {
+                assert_eq!(
+                    router.out_ready & (1 << q) != 0,
+                    !router.outputs[q].is_empty(),
+                    "ready-output mask diverged at router {r} port {q}, cycle {}",
+                    self.cycle
+                );
+            }
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            assert_eq!(
+                get_bit(&self.node_active, n),
+                !node.queue.is_empty(),
+                "node work list diverged at node {n}, cycle {}",
+                self.cycle
+            );
+        }
+    }
+
     // ------------------------------------------------------------------
     // Cycle phases
     // ------------------------------------------------------------------
@@ -395,14 +587,12 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         debug_assert_eq!(self.wheel.now(), self.cycle);
         for ev in events.drain(..) {
             match ev {
-                Event::ArriveRouter { router, port, vc, pkt } => {
-                    let size = {
-                        let p = &mut self.arena[pkt];
-                        p.eligible_at = self.cycle + self.cfg.pipeline_latency;
-                        p.decision = None;
-                        p.header.size
-                    };
+                Event::ArriveRouter { router, port, vc, pkt, size } => {
+                    // Hot lanes only: arrival never touches the cold slot.
+                    self.arena.set_eligible_at(pkt, self.cycle + self.cfg.pipeline_latency);
+                    self.arena.clear_decision(pkt);
                     self.routers[router.idx()].push_input(port.idx(), vc as usize, pkt, size);
+                    set_bit(&mut self.alloc_active, router.idx());
                 }
                 Event::ArriveNode { node, pkt } => {
                     self.complete_delivery(node, pkt);
@@ -424,7 +614,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     }
 
     fn complete_delivery(&mut self, node: NodeId, id: PacketId) {
-        let pkt = &self.arena[id];
+        let pkt = self.arena.cold(id);
         debug_assert_eq!(pkt.header.dst, node);
         let (min_l, min_g) = self.topo.min_path_links(pkt.header.src, pkt.header.dst);
         let min_routers = (min_l + min_g + 1) as u64;
@@ -450,50 +640,61 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         self.sink.on_delivered(&rec);
     }
 
+    /// Node-side injection over the active-node work list: only nodes
+    /// with a queued packet are visited (bit set in [`Self::offer`],
+    /// cleared here once the queue drains). Ascending order keeps event
+    /// scheduling identical to the full `0..nodes` scan.
     fn inject_from_nodes(&mut self) {
         let params = *self.topo.params();
-        for n in 0..self.nodes.len() {
-            let node = &mut self.nodes[n];
-            if node.link_free_at > self.cycle || node.queue.is_empty() {
-                continue;
-            }
-            let size = self.cfg.packet_size;
-            // Pick an injection VC with room, round-robin for fairness.
-            let vcs = self.cfg.vcs_injection as u32;
-            let mut chosen = None;
-            for k in 0..vcs {
-                let vc = (node.vc_rr + k) % vcs;
-                if node.credits[vc as usize] >= size {
-                    chosen = Some(vc);
-                    break;
+        for w in 0..self.node_active.len() {
+            let mut word = self.node_active[w];
+            while word != 0 {
+                let n = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let node = &mut self.nodes[n];
+                debug_assert!(!node.queue.is_empty(), "idle node on work list");
+                if node.link_free_at > self.cycle {
+                    continue;
                 }
+                let size = self.cfg.packet_size;
+                // Pick an injection VC with room, round-robin for fairness.
+                let vcs = self.cfg.vcs_injection as u32;
+                let mut chosen = None;
+                for k in 0..vcs {
+                    let vc = (node.vc_rr + k) % vcs;
+                    if node.credits[vc as usize] >= size {
+                        chosen = Some(vc);
+                        break;
+                    }
+                }
+                let Some(vc) = chosen else { continue };
+                node.vc_rr = (vc + 1) % vcs;
+                node.credits[vc as usize] -= size;
+                node.link_free_at = self.cycle + size as u64;
+                let id = node.queue.pop_front().expect("checked non-empty");
+                if node.queue.is_empty() {
+                    clear_bit(&mut self.node_active, n);
+                }
+                // Source-queue time is injection wait.
+                let wait = self.cycle - self.arena.eligible_at(id);
+                let pkt = self.arena.cold_mut(id);
+                pkt.waits.injection += wait;
+                pkt.traversal += self.cfg.injection_link_latency;
+                let node_id = NodeId(n as u32);
+                let router = node_id.router(&params);
+                let port = params.injection_port(node_id.slot(&params));
+                self.wheel.schedule(
+                    self.cfg.injection_link_latency,
+                    Event::ArriveRouter { router, port, vc: vc as u8, pkt: id, size },
+                );
             }
-            let Some(vc) = chosen else { continue };
-            node.vc_rr = (vc + 1) % vcs;
-            node.credits[vc as usize] -= size;
-            node.link_free_at = self.cycle + size as u64;
-            let id = node.queue.pop_front().expect("checked non-empty");
-            // Source-queue time is injection wait.
-            let pkt = &mut self.arena[id];
-            pkt.waits.injection += self.cycle - pkt.eligible_at;
-            pkt.traversal += self.cfg.injection_link_latency;
-            let node_id = NodeId(n as u32);
-            let router = node_id.router(&params);
-            let port = params.injection_port(node_id.slot(&params));
-            self.wheel.schedule(
-                self.cfg.injection_link_latency,
-                Event::ArriveRouter { router, port, vc: vc as u8, pkt: id },
-            );
         }
     }
 
     /// Separable iterative batch allocation for router `r`.
     fn allocate_router(&mut self, r: usize) {
-        // Event-driven short-circuit: a router with no resident input
-        // packet has nothing to allocate.
-        if self.routers[r].input_count == 0 {
-            return;
-        }
+        // The work list only holds routers with resident input packets.
+        debug_assert!(self.routers[r].input_count > 0, "idle router on alloc work list");
         let params = *self.topo.params();
         let radix = params.radix() as usize;
         let adaptive = self.policy.adaptive_reroute();
@@ -530,38 +731,34 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                     {
                         continue;
                     }
-                    let id = self.routers[r].inputs[in_port][vc]
-                        .front()
+                    let (id, size) = self.routers[r].inputs[in_port][vc]
+                        .front_entry()
                         .expect("ready bit set on empty VC");
-                    // One arena read per candidate head.
-                    let (eligible, need_route, hdr, info, prior) = {
-                        let p = &self.arena[id];
-                        (
-                            p.eligible_at <= self.cycle,
-                            p.decision.is_none() || adaptive,
-                            p.header,
-                            p.route,
-                            p.decision,
-                        )
-                    };
-                    if !eligible {
+                    // Hot-lane probe: the common rejection path (head not
+                    // yet through the pipeline) reads one 8-byte lane.
+                    if self.arena.eligible_at(id) > self.cycle {
                         continue;
                     }
-                    // Decide routing for the head if needed.
-                    let decision = if need_route {
-                        let d = self.policy.route(
-                            &self.routers[r],
-                            Port(in_port as u32),
-                            &hdr,
-                            info,
-                        );
-                        debug_assert!((d.out_port.0 as usize) < radix);
-                        self.arena[id].decision = Some(d);
-                        d
-                    } else {
-                        prior.expect("committed decision")
+                    // Decide routing for the head if needed — only then
+                    // is the cold slot (header + route state) read.
+                    let prior = self.arena.decision(id).filter(|_| !adaptive);
+                    let decision = match prior {
+                        Some(d) => d,
+                        None => {
+                            let cold = self.arena.cold(id);
+                            let (hdr, info) = (cold.header, cold.route);
+                            let d = self.policy.route(
+                                &self.routers[r],
+                                Port(in_port as u32),
+                                hdr,
+                                info,
+                            );
+                            debug_assert!((d.out_port.0 as usize) < radix);
+                            self.arena.set_decision(id, d);
+                            d
+                        }
                     };
-                    if self.routers[r].can_accept(decision.out_port, decision.out_vc, hdr.size)
+                    if self.routers[r].can_accept(decision.out_port, decision.out_vc, size)
                     {
                         // Nominated: the port proposes this head (and only
                         // this head) if the output still has grant budget.
@@ -609,14 +806,11 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         let router = &self.routers[r];
         let arena = &self.arena;
         let still_feasible = |&(ip, vc): &(u32, u8)| -> bool {
-            match router.inputs[ip as usize][vc as usize].front() {
-                Some(id) => {
-                    let p = &arena[id];
-                    match p.decision {
-                        Some(d) => router.can_accept(d.out_port, d.out_vc, p.header.size),
-                        None => false,
-                    }
-                }
+            match router.inputs[ip as usize][vc as usize].front_entry() {
+                Some((id, size)) => match arena.decision(id) {
+                    Some(d) => router.can_accept(d.out_port, d.out_vc, size),
+                    None => false,
+                },
                 None => false,
             }
         };
@@ -647,7 +841,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 .min_by_key(|&&(ip, vc)| {
                     let gen = router.inputs[ip as usize][vc as usize]
                         .front()
-                        .map(|id| arena[id].header.gen_cycle)
+                        .map(|id| arena.cold(id).header.gen_cycle)
                         .unwrap_or(u64::MAX);
                     (gen, key_rr(ip))
                 })
@@ -663,27 +857,26 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     /// reserving downstream credit and returning upstream credit.
     fn commit_grant(&mut self, r: usize, in_port: usize, vc: usize, out_port: usize) {
         let params = *self.topo.params();
-        let id = self.routers[r].pop_input(in_port, vc);
-        let (size, decision) = {
-            let pkt = &mut self.arena[id];
-            let size = pkt.header.size;
-            let decision = pkt.decision.take().expect("granted head has decision");
-            debug_assert_eq!(decision.out_port.idx(), out_port);
-
-            // Wait accounting by input-port kind.
-            let wait = self.cycle.saturating_sub(pkt.eligible_at);
+        let (id, size) = self.routers[r].pop_input(in_port, vc);
+        if self.routers[r].input_count == 0 {
+            clear_bit(&mut self.alloc_active, r);
+        }
+        let decision = self.arena.take_decision(id).expect("granted head has decision");
+        debug_assert_eq!(decision.out_port.idx(), out_port);
+        {
+            // One cold-slot touch per grant: wait accounting and the
+            // committed route state.
+            let wait = self.cycle.saturating_sub(self.arena.eligible_at(id));
+            let pkt = self.arena.cold_mut(id);
             match params.port_kind(Port(in_port as u32)) {
                 PortKind::Injection => pkt.waits.injection += wait,
                 PortKind::Local => pkt.waits.local += wait,
                 PortKind::Global => pkt.waits.global += wait,
             }
             pkt.traversal += self.cfg.pipeline_latency;
-
-            // Commit the route state chosen by the policy.
             pkt.route = decision.info;
             pkt.out_enq_at = self.cycle;
-            (size, decision)
-        };
+        }
 
         // Fairness counters: packets leaving an injection input. The input
         // port of an injection grant *is* the node's slot on its router.
@@ -724,23 +917,23 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             out_port,
             Staged { pkt: id, size, out_vc: decision.out_vc },
         );
+        set_bit(&mut self.tx_active, r);
     }
 
-    /// Start link transmissions from output buffers.
+    /// Start link transmissions from this router's staged output ports,
+    /// walking the ready-output bitmask instead of scanning all `radix`
+    /// buffers (ascending port order, as before).
     fn transmit_outputs(&mut self, r: usize) {
-        // Event-driven short-circuit: nothing staged anywhere on this
-        // router.
-        if self.routers[r].staged_count == 0 {
-            return;
-        }
+        debug_assert!(self.routers[r].staged_count > 0, "idle router on tx work list");
         let params = *self.topo.params();
         let radix = params.radix() as usize;
-        for out_port in 0..radix {
-            let ready = {
-                let ob = &self.routers[r].outputs[out_port];
-                ob.link_free_at <= self.cycle && !ob.is_empty()
-            };
-            if !ready {
+        // Snapshot: `pop_output` may clear a bit of this mask, but only
+        // for the port just processed.
+        let mut ready = self.routers[r].out_ready;
+        while ready != 0 {
+            let out_port = ready.trailing_zeros() as usize;
+            ready &= ready - 1;
+            if self.routers[r].outputs[out_port].link_free_at > self.cycle {
                 continue;
             }
             let staged = self.routers[r].pop_output(out_port);
@@ -749,7 +942,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             let latency = self.latencies[flat];
             // Output-side waiting, attributed by output-port kind
             // (ejection counts as local — it is intra-"last-hop" HoL).
-            let pkt = &mut self.arena[staged.pkt];
+            let pkt = self.arena.cold_mut(staged.pkt);
             let wait = self.cycle - pkt.out_enq_at;
             match params.port_kind(Port(out_port as u32)) {
                 PortKind::Injection | PortKind::Local => pkt.waits.local += wait,
@@ -762,14 +955,14 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             }
             match self.peers[flat] {
                 PortTarget::Node(node) => {
-                    self.arena[staged.pkt].traversal += latency + size as u64;
+                    self.arena.cold_mut(staged.pkt).traversal += latency + size as u64;
                     self.wheel.schedule(
                         latency + size as u64,
                         Event::ArriveNode { node, pkt: staged.pkt },
                     );
                 }
                 PortTarget::Router { router, port } => {
-                    self.arena[staged.pkt].traversal += latency;
+                    self.arena.cold_mut(staged.pkt).traversal += latency;
                     self.wheel.schedule(
                         latency,
                         Event::ArriveRouter {
@@ -777,10 +970,14 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                             port,
                             vc: staged.out_vc,
                             pkt: staged.pkt,
+                            size,
                         },
                     );
                 }
             }
+        }
+        if self.routers[r].staged_count == 0 {
+            clear_bit(&mut self.tx_active, r);
         }
     }
 }
@@ -802,7 +999,7 @@ mod tests {
             &mut self,
             router: &RouterState,
             _in_port: Port,
-            hdr: &PacketHeader,
+            hdr: PacketHeader,
             mut info: RouteInfo,
         ) -> Decision {
             let params = self.topo.params();

@@ -92,8 +92,15 @@ impl WaitBreakdown {
     }
 }
 
-/// A packet in flight.
-#[derive(Debug, Clone)]
+/// A packet in flight — the *joined* view of one arena slot.
+///
+/// In-flight storage is a structure-of-arrays split (see
+/// [`crate::arena::PacketArena`]): `eligible_at` and `decision` live in
+/// hot parallel arrays probed by the allocator every cycle, everything
+/// else in a cold [`crate::arena::PacketCold`] record. This struct is the
+/// assembly type used at insertion ([`Packet::new`]) and for diagnostic
+/// snapshots; the hot path never materializes it.
+#[derive(Debug, Clone, Copy)]
 pub struct Packet {
     /// Identity and endpoints.
     pub header: PacketHeader,

@@ -38,12 +38,14 @@ pub trait RoutingPolicy {
 
     /// Decide the output (port, VC, updated route state) for the head
     /// packet `hdr` with route state `info`, currently at `router` on
-    /// input port `in_port`.
+    /// input port `in_port`. Header and route state arrive by value —
+    /// they are copied out of the arena's cold slot, so the policy never
+    /// holds a borrow into packet storage.
     fn route(
         &mut self,
         router: &RouterState,
         in_port: Port,
-        hdr: &PacketHeader,
+        hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision;
 
@@ -73,7 +75,7 @@ impl<T: RoutingPolicy + ?Sized> RoutingPolicy for Box<T> {
         &mut self,
         router: &RouterState,
         in_port: Port,
-        hdr: &PacketHeader,
+        hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision {
         (**self).route(router, in_port, hdr, info)

@@ -42,6 +42,10 @@ pub struct RouterState {
     pub(crate) out_rr: Vec<u32>,
     /// Bitmask of non-empty VCs per input port (the ready-VC list).
     pub(crate) in_ready: Vec<u32>,
+    /// Bitmask of output ports with at least one staged packet (the
+    /// ready-output list): `transmit_outputs` visits only set bits
+    /// instead of scanning all `radix` output buffers.
+    pub(crate) out_ready: u64,
     /// Packets resident across all input VCs.
     pub(crate) input_count: u32,
     /// Packets staged across all output buffers.
@@ -75,6 +79,7 @@ impl RouterState {
     /// ports get no credit counters.
     pub fn new(id: RouterId, params: &DragonflyParams, cfg: &EngineConfig) -> Self {
         let radix = params.radix() as usize;
+        assert!(radix <= 64, "out_ready bitmask supports at most 64 ports");
         let mut inputs = Vec::with_capacity(radix);
         let mut outputs = Vec::with_capacity(radix);
         let mut credits = Vec::with_capacity(radix);
@@ -106,6 +111,7 @@ impl RouterState {
             in_rr: vec![0; radix],
             out_rr: vec![0; radix],
             in_ready: vec![0; radix],
+            out_ready: 0,
             input_count: 0,
             staged_count: 0,
         }
@@ -128,18 +134,19 @@ impl RouterState {
         self.input_count += 1;
     }
 
-    /// Dequeue the head packet of `port`, VC `vc`.
+    /// Dequeue the head packet of `port`, VC `vc`, returning its handle
+    /// and size.
     ///
     /// # Panics
     /// Panics if the VC is empty.
-    pub(crate) fn pop_input(&mut self, port: usize, vc: usize) -> PacketId {
+    pub(crate) fn pop_input(&mut self, port: usize, vc: usize) -> (PacketId, u32) {
         let buf = &mut self.inputs[port][vc];
-        let id = buf.pop().expect("pop from empty input VC");
+        let entry = buf.pop().expect("pop from empty input VC");
         if buf.is_empty() {
             self.in_ready[port] &= !(1 << vc);
         }
         self.input_count -= 1;
-        id
+        entry
     }
 
     /// Consume downstream credit on `port`, VC `vc` (grant committed).
@@ -161,6 +168,7 @@ impl RouterState {
     /// Stage a granted packet at output `port`.
     pub(crate) fn stage_output(&mut self, port: usize, staged: Staged) {
         self.outputs[port].push(staged);
+        self.out_ready |= 1 << port;
         self.staged_count += 1;
     }
 
@@ -170,6 +178,9 @@ impl RouterState {
     /// Panics if the output buffer is empty.
     pub(crate) fn pop_output(&mut self, port: usize) -> Staged {
         let staged = self.outputs[port].pop_for_tx().expect("pop from empty output");
+        if self.outputs[port].is_empty() {
+            self.out_ready &= !(1 << port);
+        }
         self.staged_count -= 1;
         staged
     }
@@ -358,7 +369,7 @@ mod tests {
         r.push_input(0, 2, PacketId(2), 8);
         assert_eq!(r.in_ready[0], 0b110);
         assert_eq!(r.input_packets(), 3);
-        assert_eq!(r.pop_input(0, 1), PacketId(0));
+        assert_eq!(r.pop_input(0, 1), (PacketId(0), 8));
         // VC 1 still occupied: bit stays set.
         assert_eq!(r.in_ready[0], 0b110);
         r.pop_input(0, 1);
@@ -375,6 +386,24 @@ mod tests {
         assert_eq!(r.output_packets(), 1);
         let s = r.pop_output(3);
         assert_eq!(s.pkt, PacketId(9));
+        assert_eq!(r.output_packets(), 0);
+    }
+
+    #[test]
+    fn out_ready_mask_follows_stage_pop() {
+        let (_, _, mut r) = setup();
+        assert_eq!(r.out_ready, 0);
+        r.stage_output(3, Staged { pkt: PacketId(1), size: 8, out_vc: 0 });
+        r.stage_output(3, Staged { pkt: PacketId(2), size: 8, out_vc: 0 });
+        r.stage_output(5, Staged { pkt: PacketId(3), size: 8, out_vc: 0 });
+        assert_eq!(r.out_ready, (1 << 3) | (1 << 5));
+        r.pop_output(3);
+        // Port 3 still has a staged packet: bit stays set.
+        assert_eq!(r.out_ready, (1 << 3) | (1 << 5));
+        r.pop_output(3);
+        assert_eq!(r.out_ready, 1 << 5);
+        r.pop_output(5);
+        assert_eq!(r.out_ready, 0);
         assert_eq!(r.output_packets(), 0);
     }
 }

@@ -188,7 +188,7 @@ impl RoutingPolicy for InTransit {
         &mut self,
         router: &RouterState,
         in_port: Port,
-        hdr: &PacketHeader,
+        hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision {
         let params = *self.topo.params();

@@ -24,7 +24,7 @@ impl RoutingPolicy for MinRouting {
         &mut self,
         router: &RouterState,
         _in_port: Port,
-        hdr: &PacketHeader,
+        hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision {
         let info = normalize_route_state(&self.topo, router.id(), info);

@@ -72,7 +72,7 @@ impl RoutingPolicy for Oblivious {
         &mut self,
         router: &RouterState,
         in_port: Port,
-        hdr: &PacketHeader,
+        hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision {
         let params = *self.topo.params();

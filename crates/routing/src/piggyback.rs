@@ -145,7 +145,7 @@ impl RoutingPolicy for PiggyBack {
         &mut self,
         router: &RouterState,
         in_port: Port,
-        hdr: &PacketHeader,
+        hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision {
         let params = *self.topo.params();
@@ -306,7 +306,7 @@ mod tests {
             &mut self,
             router: &RouterState,
             in_port: df_topology::Port,
-            hdr: &PacketHeader,
+            hdr: PacketHeader,
             info: RouteInfo,
         ) -> Decision {
             self.pb.route(router, in_port, hdr, info)

@@ -2,9 +2,17 @@
 //! holds zero live slots (no leaks), slot reuse keeps steady-state runs
 //! allocation-free, and — property-tested across mechanisms, patterns,
 //! loads and seeds — slab reuse is deterministic: the same seed yields a
-//! bit-identical serialized `RunResult`.
+//! bit-identical serialized `RunResult`. Also covers the SoA split
+//! (hot `eligible_at`/`decision` lanes vs the cold slot must stay views
+//! of one packet), the intrusive free list (LIFO reuse without growth,
+//! links threaded through vacant hot slots), and the scheduling work
+//! lists (active-node/router bitsets must match a full network scan
+//! every cycle).
 
-use dragonfly_core::df_engine::{ArbiterPolicy, EngineConfig, Network, NullSink};
+use dragonfly_core::df_engine::{
+    ArbiterPolicy, Decision, EngineConfig, Network, NullSink, Packet, PacketArena, PacketId,
+    RouteInfo,
+};
 use dragonfly_core::df_routing::MechanismSpec;
 use dragonfly_core::prelude::*;
 use proptest::prelude::*;
@@ -91,6 +99,109 @@ fn steady_state_reuses_slots_without_growth() {
         warm,
         "second wave allocated fresh slots instead of reusing the slab"
     );
+}
+
+fn probe_packet(seq: u64) -> Packet {
+    Packet::new(seq, NodeId(0), NodeId(1), 8, seq * 10, GroupId(0))
+}
+
+#[test]
+fn soa_hot_and_cold_lanes_stay_one_packet() {
+    // Whatever is written through the hot accessors (eligible_at,
+    // decision) and the cold slot must read back consistently, both
+    // through the fine-grained accessors and the joined snapshot.
+    let mut arena = PacketArena::new();
+    let a = arena.insert(probe_packet(1));
+    let b = arena.insert(probe_packet(2));
+    // Insertion seeds the hot lanes from the packet.
+    assert_eq!(arena.eligible_at(a), 10);
+    assert_eq!(arena.eligible_at(b), 20);
+    assert!(arena.decision(a).is_none());
+    // Hot writes on one slot must not bleed into the neighbour.
+    arena.set_eligible_at(a, 555);
+    let d = Decision { out_port: Port(3), out_vc: 1, info: RouteInfo::new(GroupId(0)) };
+    arena.set_decision(a, d);
+    assert_eq!(arena.eligible_at(a), 555);
+    assert_eq!(arena.eligible_at(b), 20);
+    assert!(arena.decision(b).is_none());
+    assert_eq!(arena.decision(a).unwrap().out_port, Port(3));
+    // Cold writes stay cold: hot lanes unchanged.
+    arena.cold_mut(a).waits.global = 99;
+    arena.cold_mut(a).traversal = 7;
+    assert_eq!(arena.eligible_at(a), 555);
+    // The snapshot joins both halves.
+    let snap = arena.snapshot(a);
+    assert_eq!(snap.header.id, 1);
+    assert_eq!(snap.eligible_at, 555);
+    assert_eq!(snap.waits.global, 99);
+    assert_eq!(snap.traversal, 7);
+    assert_eq!(snap.decision.unwrap().out_vc, 1);
+    // take_decision clears the hot lane without touching the cold slot.
+    assert_eq!(arena.take_decision(a).unwrap().out_port, Port(3));
+    assert!(arena.decision(a).is_none());
+    assert_eq!(arena.cold(a).waits.global, 99);
+}
+
+#[test]
+fn intrusive_free_list_reuses_lifo_without_growth() {
+    // The free links live inside the vacant hot slots; reuse must be
+    // LIFO and must never grow the slab while vacancies exist, across
+    // interleaved insert/free waves.
+    let mut arena = PacketArena::new();
+    let ids: Vec<PacketId> = (0..6).map(|i| arena.insert(probe_packet(i))).collect();
+    assert_eq!(arena.capacity(), 6);
+    arena.free(ids[2]);
+    arena.free(ids[0]);
+    arena.free(ids[5]);
+    assert_eq!(arena.live(), 3);
+    // LIFO: most recently freed first.
+    assert_eq!(arena.insert(probe_packet(10)), ids[5]);
+    assert_eq!(arena.insert(probe_packet(11)), ids[0]);
+    // Freeing while the chain is non-empty pushes on top.
+    arena.free(ids[3]);
+    assert_eq!(arena.insert(probe_packet(12)), ids[3]);
+    assert_eq!(arena.insert(probe_packet(13)), ids[2]);
+    assert_eq!(arena.capacity(), 6, "reuse must not grow the slab");
+    // Chain exhausted: the next insert grows.
+    assert_eq!(arena.insert(probe_packet(14)), PacketId(6));
+    assert_eq!(arena.capacity(), 7);
+    assert_eq!(arena.live(), 7);
+    // Reused slots carry the fresh packet, not stale state.
+    assert_eq!(arena.cold(ids[3]).header.id, 12);
+    assert_eq!(arena.eligible_at(ids[3]), 120);
+    assert!(arena.decision(ids[3]).is_none());
+}
+
+#[test]
+fn work_lists_match_full_scan_every_cycle() {
+    // Shadow test for the active-node / active-router / ready-output
+    // work lists: at every cycle of a figure1-scale run (load ramp,
+    // steady state, and drain), visiting exactly the flagged entities
+    // must be equivalent to the full 0..routers / 0..nodes scans the
+    // lists replaced — i.e. every unflagged entity is verifiably idle.
+    for mechanism in [MechanismSpec::Min, MechanismSpec::InTransitCrg] {
+        let mut net = figure1_net(mechanism);
+        let nodes = net.topology().params().nodes();
+        net.assert_work_lists_match_full_scan();
+        for round in 0..60u32 {
+            for n in 0..nodes {
+                if (n + round) % 3 == 0 {
+                    net.offer(NodeId(n), NodeId((n * 17 + round + 1) % nodes));
+                }
+            }
+            net.step();
+            net.assert_work_lists_match_full_scan();
+        }
+        for _ in 0..3000 {
+            if net.in_flight() == 0 {
+                break;
+            }
+            net.step();
+            net.assert_work_lists_match_full_scan();
+        }
+        assert_eq!(net.in_flight(), 0, "{mechanism:?} must drain");
+        net.assert_work_lists_match_full_scan();
+    }
 }
 
 // Slab reuse must not leak nondeterminism into results: running the

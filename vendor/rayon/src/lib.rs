@@ -8,10 +8,12 @@
 //! ```
 //!
 //! Unlike a sequential shim, `collect` really fans the work out over
-//! `std::thread::scope`, with one contiguous chunk per available core —
-//! the multi-seed experiment sweeps in `dragonfly-core` are embarrassingly
-//! parallel, so static chunking recovers most of real rayon's benefit
-//! without a work-stealing pool.
+//! `std::thread::scope`. Work distribution is dynamic: workers claim the
+//! next unprocessed index from a shared atomic counter, so a sweep whose
+//! cells differ wildly in run time (e.g. simulation loads near
+//! saturation) keeps every core busy until the queue is empty instead of
+//! serializing behind the slowest statically assigned chunk. Output
+//! order is preserved — results land in their input slot.
 
 /// The traits to import, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -65,12 +67,20 @@ pub struct ParMap<'a, T, F> {
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
     /// Run the map over all elements — in parallel when more than one core
     /// and more than one element are available — preserving input order.
+    ///
+    /// Scheduling is a work-stealing loop: each worker repeatedly claims
+    /// the next index from a shared atomic counter and writes the result
+    /// into that index's slot, so uneven per-element run times never
+    /// leave a core idle while work remains.
     pub fn collect<R, C>(self) -> C
     where
         F: Fn(&'a T) -> R + Sync,
         R: Send,
         C: FromIterator<R>,
     {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
         let n = self.items.len();
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -80,23 +90,33 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
             return self.items.iter().map(&self.f).collect();
         }
 
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let chunk = n.div_ceil(workers);
+        // Per-index result slots. The Mutex is uncontended (exactly one
+        // worker ever claims an index) and exists only to make the
+        // cross-thread writes safe; the elements here are heavyweight
+        // (whole simulation runs), so the lock cost is noise.
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
         let f = &self.f;
         let items = self.items;
         std::thread::scope(|scope| {
-            for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let start = w * chunk;
-                scope.spawn(move || {
-                    for (k, slot) in out_chunk.iter_mut().enumerate() {
-                        *slot = Some(f(&items[start + k]));
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
+                    let result = f(&items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| slot.expect("worker thread filled every slot"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker thread filled every slot")
+            })
             .collect()
     }
 }
@@ -118,6 +138,24 @@ mod tests {
         assert_eq!(out, vec![2, 3, 4]);
         let empty: Vec<u32> = Vec::<u32>::new().par_iter().map(|&x| x).collect();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn skewed_workloads_preserve_order() {
+        // Early elements are the slow ones: a static chunker would finish
+        // them last on worker 0 while other workers idle. The result must
+        // still come back in input order.
+        let input: Vec<u64> = (0..32).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| {
+                if x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                x * 3
+            })
+            .collect();
+        assert_eq!(out, (0..32).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]
