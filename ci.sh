@@ -19,9 +19,29 @@ echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 
+echo "==> doc tests (df-workload schema examples et al.)"
+cargo test -q --doc
+
 echo "==> scenario smoke run (reduced cycles)"
 cargo run --release -p df-bench --bin scenario -- --quick \
     scenarios/interference_advc_vs_uniform.json > /dev/null
+
+echo "==> sweep smoke run + determinism gate (bundled grid, twice, bit-compare)"
+# The long-format table must be bit-identical across same-seed runs
+# regardless of how cells were scheduled across threads. The first run's
+# table lands in bench-results/ for the workflow to archive alongside
+# the perf trajectory.
+sweep_rerun="$(mktemp -d)"
+trap 'rm -rf "${fresh_dir:-}" "${sweep_rerun:-}"' EXIT
+cargo run --release -p df-bench --bin sweep -- --quick \
+    --csv bench-results/sweep_unfairness_grid.csv \
+    --out bench-results/sweep_unfairness_grid.json \
+    scenarios/sweep_unfairness_grid.json > /dev/null
+cargo run --release -p df-bench --bin sweep -- --quick \
+    --csv "$sweep_rerun/table.csv" --out "$sweep_rerun/table.json" \
+    scenarios/sweep_unfairness_grid.json > /dev/null
+cmp bench-results/sweep_unfairness_grid.csv "$sweep_rerun/table.csv"
+cmp bench-results/sweep_unfairness_grid.json "$sweep_rerun/table.json"
 
 echo "==> criterion benches in --test mode (each body runs once)"
 cargo bench -p df-bench -- --test
@@ -40,7 +60,6 @@ echo "==> record perf trajectory (bench-results/BENCH_*.json) + regression gate"
 # BENCH_TREND_FLAGS=--allow-regress for warn-only, as CI does —
 # shared-runner timings are noisier still).
 fresh_dir="$(mktemp -d)"
-trap 'rm -rf "$fresh_dir"' EXIT
 for i in 1 2 3 4; do
     BENCH_JSON_DIR="$fresh_dir/run$i" cargo bench -p df-bench --bench router_step
 done

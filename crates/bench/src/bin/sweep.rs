@@ -1,0 +1,145 @@
+//! Sweep harness CLI: load a [`SweepSpec`] grid from JSON, expand its
+//! axes, run every cell × seed (rayon over the whole grid), and emit a
+//! long-format result table for replotting the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin sweep -- scenarios/sweep_unfairness_grid.json
+//! cargo run --release -p df-bench --bin sweep -- --quick --csv /tmp/grid.csv \
+//!     scenarios/sweep_unfairness_grid.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--seeds N` — seeds per cell (default 3),
+//! * `--quick` — single seed and a reduced cycle budget (CI smoke),
+//! * `--out PATH` — write the table as JSON,
+//! * `--csv PATH` — write the table as CSV.
+//!
+//! The table is deterministic: the same sweep file and seed set produce a
+//! bit-identical JSON/CSV artifact regardless of how cells were scheduled
+//! across threads (CI runs the bundled grid twice and compares md5s).
+//! A compact per-cell summary grid is printed to stdout.
+
+use df_bench::write_json;
+use dragonfly_core::prelude::*;
+use std::path::PathBuf;
+
+struct Args {
+    sweep: String,
+    seeds: Vec<u64>,
+    quick: bool,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: sweep [--seeds N] [--quick] [--out PATH] [--csv PATH] SWEEP.json");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { sweep: String::new(), seeds: Vec::new(), quick: false, out: None, csv: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--seeds needs a positive number"));
+                args.seeds = (0..n).map(|i| DEFAULT_SEEDS[0] + i * 31).collect();
+            }
+            "--out" => {
+                args.out =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path"))));
+            }
+            "--csv" => {
+                args.csv =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--csv needs a path"))));
+            }
+            other if !other.starts_with('-') && args.sweep.is_empty() => {
+                args.sweep = other.to_string();
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.sweep.is_empty() {
+        die("missing sweep file");
+    }
+    if args.seeds.is_empty() {
+        args.seeds = if args.quick { vec![DEFAULT_SEEDS[0]] } else { DEFAULT_SEEDS.to_vec() };
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = SweepSpec::load(&args.sweep).unwrap_or_else(|e| die(&e));
+    if args.quick {
+        spec.base.warmup_cycles = spec.base.warmup_cycles.min(1_000);
+        spec.base.measure_cycles = spec.base.measure_cycles.min(2_000);
+    }
+    let cells = spec.expand().unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "sweep `{}`: {} nodes, {} jobs, {} cells, {} seeds, {}+{} cycles per cell",
+        spec.name,
+        spec.base.params.nodes(),
+        spec.base.jobs.len(),
+        cells.len(),
+        args.seeds.len(),
+        spec.base.warmup_cycles,
+        spec.base.measure_cycles,
+    );
+
+    let table = run_sweep(&spec, &args.seeds).unwrap_or_else(|e| die(&e));
+
+    // Compact per-cell grid: seed-averaged network throughput/latency and
+    // the worst per-job injection CoV (the unfairness signal).
+    println!(
+        "{:>5} {:>12} {:>6} {:>14} {:>8} {:>10} {:>10} {:>10}",
+        "cell", "mechanism", "load", "placement", "pattern", "accepted", "latency", "job CoV"
+    );
+    for cell in &cells {
+        let net: Vec<&SweepRow> = table
+            .rows
+            .iter()
+            .filter(|r| r.cell == cell.index && r.scope == "network")
+            .collect();
+        let jobs: Vec<&SweepRow> = table
+            .rows
+            .iter()
+            .filter(|r| r.cell == cell.index && r.scope != "network")
+            .collect();
+        let n = net.len() as f64;
+        let thr = net.iter().map(|r| r.throughput).sum::<f64>() / n;
+        let lat = net.iter().map(|r| r.avg_latency).sum::<f64>() / n;
+        let worst_cov = jobs.iter().map(|r| r.cov).fold(0.0f64, f64::max);
+        println!(
+            "{:>5} {:>12} {:>6.3} {:>14} {:>8} {:>10.4} {:>10.1} {:>10.4}",
+            cell.index,
+            cell.mechanism.label(),
+            net[0].load,
+            cell.placement.as_deref().unwrap_or("base"),
+            cell.pattern.as_deref().unwrap_or("base"),
+            thr,
+            lat,
+            worst_cov,
+        );
+    }
+    eprintln!("{} rows (cell x seed x scope)", table.rows.len());
+
+    if let Some(out) = &args.out {
+        write_json(out, &table);
+    }
+    if let Some(csv) = &args.csv {
+        if let Some(dir) = csv.parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(csv, table.to_csv()).expect("write csv");
+        eprintln!("wrote {}", csv.display());
+    }
+}

@@ -41,6 +41,7 @@ mod experiment;
 mod scenario;
 mod sim;
 mod sink;
+mod sweep;
 
 pub use config::SimConfig;
 pub use experiment::{
@@ -50,8 +51,9 @@ pub use scenario::{
     run_scenario, run_scenario_once, JobSummary, MechanismScenarioResult, MechanismSummary,
     ScenarioResult, ScenarioSummary,
 };
-pub use sim::{run_single, JobResult, RunResult, Simulator};
+pub use sim::{run_single, JobResult, JobSchedule, RunResult, Simulator};
 pub use sink::{JobAccumulator, MeasurementSink};
+pub use sweep::{run_sweep, SweepRow, SweepTable};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
@@ -65,9 +67,10 @@ pub use df_workload;
 /// Everything needed for typical experiment scripts.
 pub mod prelude {
     pub use crate::{
-        run_averaged, run_scenario, run_scenario_once, run_single, standard_load_grid,
-        sweep_loads, AveragedResult, JobResult, MeasurementSink, RunResult, ScenarioResult,
-        SimConfig, Simulator, DEFAULT_SEEDS,
+        run_averaged, run_scenario, run_scenario_once, run_single, run_sweep,
+        standard_load_grid, sweep_loads, AveragedResult, JobResult, JobSchedule,
+        MeasurementSink, RunResult, ScenarioResult, SimConfig, Simulator, SweepRow,
+        SweepTable, DEFAULT_SEEDS,
     };
     pub use df_engine::{ArbiterPolicy, EngineConfig};
     pub use df_routing::MechanismSpec;
@@ -77,6 +80,7 @@ pub mod prelude {
     };
     pub use df_traffic::PatternSpec;
     pub use df_workload::{
-        InjectionSpec, JobSpec, PlacementSpec, ScenarioSpec, TraceRecorder,
+        InjectionSpec, JobSpec, PlacementSpec, PlacementVariant, ScenarioSpec, SweepSpec,
+        TraceRecorder,
     };
 }

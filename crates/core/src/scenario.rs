@@ -3,7 +3,7 @@
 //! results under every requested mechanism.
 
 use crate::config::{derive_seed, SimConfig};
-use crate::sim::{JobResult, RunResult, Simulator};
+use crate::sim::{JobResult, JobSchedule, RunResult, Simulator};
 use df_routing::MechanismSpec;
 use df_traffic::{PatternSpec, Traffic};
 use df_workload::{
@@ -217,9 +217,14 @@ pub fn run_scenario_once(
             )
             .map_err(|e| format!("job `{}`: {e}", job.name))?;
         drivers.push(JobDriver { process, traffic });
-        job_nodes.push((job.name.clone(), placement.nodes));
+        job_nodes.push(JobSchedule {
+            label: job.name.clone(),
+            nodes: placement.nodes,
+            start_cycle: job.start_cycle,
+            stop_cycle: job.stop_cycle,
+        });
     }
-    sim.set_jobs(job_nodes);
+    sim.set_job_schedule(job_nodes);
 
     let total_cycles = spec.warmup_cycles + spec.measure_cycles;
     let n_nodes = spec.params.nodes();

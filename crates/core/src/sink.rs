@@ -1,6 +1,13 @@
 //! The stats sink wired into the engine: aggregates delivered packets
 //! into the `df-stats` accumulators, with a warm-up gate and an optional
 //! node→job attribution for multi-job scenarios.
+//!
+//! Attribution is *cycle-aware*: each node keeps a small ownership
+//! history of `(from_cycle, job)` changes, so in a churning workload a
+//! packet is credited to the job that owned its source node **when the
+//! packet was generated** — a straggler delivered after its job departed
+//! (and after the node was reassigned to a later arrival) still counts
+//! toward the departed job, not the new tenant.
 
 use df_engine::{DeliveredRecord, StatsSink};
 use df_stats::{Histogram, LatencyAccumulator};
@@ -43,7 +50,13 @@ pub struct MeasurementSink {
     /// End-to-end latency histogram (50-cycle bins up to 10,000 cycles).
     pub histogram: Histogram,
     /// `node → job index` attribution map (empty when no jobs are set).
+    /// Holds the *current* owner; [`MeasurementSink::node_history`] keeps
+    /// the cycle-stamped record used for attribution.
     node_job: Vec<u32>,
+    /// Per-node ownership history: `(from_cycle, owner)` entries in
+    /// ascending cycle order. Static scenarios have at most one entry per
+    /// node; churn appends one entry per claim/release.
+    node_history: Vec<Vec<(u64, u32)>>,
     /// Per-job accumulators.
     jobs: Vec<JobAccumulator>,
 }
@@ -56,12 +69,14 @@ impl MeasurementSink {
             latency: LatencyAccumulator::new(),
             histogram: Histogram::new(50, 200),
             node_job: Vec::new(),
+            node_history: Vec::new(),
             jobs: Vec::new(),
         }
     }
 
     /// Inactive sink attributing each node to a job via `node_job`
     /// (use [`MeasurementSink::NO_JOB`] — `u32::MAX` — for unowned nodes).
+    /// Ownership is static: every owned node is owned from cycle 0.
     ///
     /// # Panics
     /// Panics if an entry names a job `>= n_jobs`.
@@ -70,11 +85,59 @@ impl MeasurementSink {
             node_job.iter().all(|&j| j == NO_JOB || (j as usize) < n_jobs),
             "node_job entry out of range"
         );
+        let node_history = node_job
+            .iter()
+            .map(|&j| if j == NO_JOB { Vec::new() } else { vec![(0, j)] })
+            .collect();
         Self {
             node_job,
+            node_history,
             jobs: (0..n_jobs).map(|_| JobAccumulator::new()).collect(),
             ..Self::new()
         }
+    }
+
+    /// Inactive sink for a *scheduled* (churning) workload: `n_jobs`
+    /// accumulators over `n_nodes` initially unowned nodes. Ownership is
+    /// installed over time via [`MeasurementSink::claim_node`] /
+    /// [`MeasurementSink::release_node`].
+    pub fn with_job_count(n_nodes: usize, n_jobs: usize) -> Self {
+        Self {
+            node_job: vec![NO_JOB; n_nodes],
+            node_history: vec![Vec::new(); n_nodes],
+            jobs: (0..n_jobs).map(|_| JobAccumulator::new()).collect(),
+            ..Self::new()
+        }
+    }
+
+    /// Record that `job` owns `node` from `cycle` on.
+    ///
+    /// # Panics
+    /// Panics if the node is currently owned (lifetimes of jobs sharing a
+    /// node must be disjoint) or `job` is out of range.
+    pub fn claim_node(&mut self, node: usize, job: u32, cycle: u64) {
+        assert!((job as usize) < self.jobs.len(), "job {job} out of range");
+        assert_eq!(
+            self.node_job[node], NO_JOB,
+            "node {node} claimed by two jobs"
+        );
+        self.node_job[node] = job;
+        debug_assert!(
+            self.node_history[node].last().is_none_or(|&(c, _)| c <= cycle),
+            "ownership history must be appended in cycle order"
+        );
+        self.node_history[node].push((cycle, job));
+    }
+
+    /// Record that `node`'s owner departs at `cycle`: packets generated
+    /// at `cycle` or later are no longer attributed to it.
+    ///
+    /// # Panics
+    /// Panics if the node is not currently owned.
+    pub fn release_node(&mut self, node: usize, cycle: u64) {
+        assert_ne!(self.node_job[node], NO_JOB, "released node {node} is unowned");
+        self.node_job[node] = NO_JOB;
+        self.node_history[node].push((cycle, NO_JOB));
     }
 
     /// The sentinel marking a node that belongs to no job.
@@ -102,6 +165,19 @@ impl MeasurementSink {
             _ => None,
         }
     }
+
+    /// The job that owned `node` at `cycle` (attribution for a packet
+    /// generated then). A reverse scan of the node's ownership history —
+    /// one entry for static jobs, a handful under churn.
+    pub fn job_of_at(&self, node: usize, cycle: u64) -> Option<u32> {
+        let history = self.node_history.get(node)?;
+        history
+            .iter()
+            .rev()
+            .find(|&&(from, _)| from <= cycle)
+            .map(|&(_, j)| j)
+            .filter(|&j| j != NO_JOB)
+    }
 }
 
 impl Default for MeasurementSink {
@@ -123,7 +199,7 @@ impl StatsSink for MeasurementSink {
             rec.waits.global,
         );
         self.histogram.add(rec.latency());
-        if let Some(j) = self.job_of(rec.header.src.idx()) {
+        if let Some(j) = self.job_of_at(rec.header.src.idx(), rec.header.gen_cycle) {
             let job = &mut self.jobs[j as usize];
             job.latency.add(
                 rec.min_traversal,

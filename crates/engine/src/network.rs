@@ -157,6 +157,53 @@ impl Counters {
     }
 }
 
+/// Inline capacity of one output port's proposal list. Covers the whole
+/// radix of the reduced-scale networks (figure1 radix 7, small radix 11)
+/// and all non-pathological contention at paper scale (radix 23): spill
+/// needs more than `PROPOSAL_INLINE` input ports to nominate the *same*
+/// output in one allocation iteration.
+const PROPOSAL_INLINE: usize = 16;
+
+/// Fixed-capacity proposal list with a rarely-used heap spill, so the
+/// allocator's per-output scratch stays inline (one cache line of
+/// `(in_port, vc)` pairs) and never allocates in steady state.
+#[derive(Debug, Default)]
+struct ProposalList {
+    inline: [(u32, u8); PROPOSAL_INLINE],
+    len: u8,
+    /// Overflow beyond `PROPOSAL_INLINE`, preserving push order.
+    spill: Vec<(u32, u8)>,
+}
+
+impl ProposalList {
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, entry: (u32, u8)) {
+        if (self.len as usize) < PROPOSAL_INLINE {
+            self.inline[self.len as usize] = entry;
+            self.len += 1;
+        } else {
+            self.spill.push(entry);
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Proposals in push order (inline segment, then spill).
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = &(u32, u8)> {
+        self.inline[..self.len as usize].iter().chain(self.spill.iter())
+    }
+}
+
 /// A full network simulation instance.
 pub struct Network<P: RoutingPolicy, S: StatsSink> {
     topo: Topology,
@@ -177,8 +224,9 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     peers: Vec<PortTarget>,
     /// Latency of the link behind every (router, port).
     latencies: Vec<u64>,
-    /// Allocation scratch: proposals per output port.
-    proposals: Vec<Vec<(u32, u8)>>,
+    /// Allocation scratch: proposals per output port, inline up to
+    /// [`PROPOSAL_INLINE`] entries.
+    proposals: Vec<ProposalList>,
     /// Allocation scratch, persistent across cycles so the hot loop does
     /// not allocate: remaining grant budget per input / output port.
     alloc_in_budget: Vec<u32>,
@@ -260,7 +308,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             live_packets: 0,
             peers,
             latencies,
-            proposals: (0..radix).map(|_| Vec::new()).collect(),
+            proposals: (0..radix).map(|_| ProposalList::default()).collect(),
             alloc_in_budget: vec![0; radix as usize],
             alloc_out_budget: vec![0; radix as usize],
             alloc_vc_granted: vec![false; radix as usize * vc_stride],

@@ -10,6 +10,31 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Declarative description of one job in a scenario.
+///
+/// # Examples
+///
+/// A job with a bounded lifetime generates only inside its
+/// `[start_cycle, stop_cycle)` window — the scenario runner gates
+/// generation with [`JobSpec::active`] and frees the job's node slots
+/// at departure for reuse by later arrivals:
+///
+/// ```
+/// use df_traffic::PatternSpec;
+/// use df_workload::{InjectionSpec, JobSpec, PlacementSpec};
+///
+/// let job = JobSpec {
+///     name: "burst".into(),
+///     placement: PlacementSpec::ConsecutiveGroups { first: 0, count: 2, slots: None },
+///     pattern: PatternSpec::Uniform,
+///     injection: InjectionSpec::Bernoulli,
+///     load: 0.3,
+///     start_cycle: Some(1_000),
+///     stop_cycle: Some(5_000),
+/// };
+/// assert!(!job.active(999));
+/// assert!(job.active(1_000) && job.active(4_999));
+/// assert!(!job.active(5_000));
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Job name (used in result tables).
@@ -36,6 +61,23 @@ impl JobSpec {
         cycle >= self.start_cycle.unwrap_or(0)
             && self.stop_cycle.is_none_or(|stop| cycle < stop)
     }
+
+    /// The job's half-open lifetime `[start, stop)` with defaults
+    /// resolved (`0` / `u64::MAX`).
+    #[inline]
+    pub fn lifetime(&self) -> (u64, u64) {
+        (self.start_cycle.unwrap_or(0), self.stop_cycle.unwrap_or(u64::MAX))
+    }
+}
+
+/// Whether two half-open `[start, stop)` lifetimes overlap. *The*
+/// predicate deciding when two jobs may share nodes (they may iff their
+/// lifetimes do **not** overlap) — `ScenarioSpec::validate` and the
+/// driven-mode simulator's schedule check both use it, so the `Err` path
+/// and the panic path can never drift apart.
+#[inline]
+pub fn lifetimes_overlap(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.1 && b.0 < a.1
 }
 
 /// A [`PatternSpec`] remapped into a job's node set.
@@ -47,6 +89,27 @@ impl JobSpec {
 /// the virtual geometry: a job running `Uniform` on consecutive groups
 /// produces exactly the paper's §III network-level ADVc hazard, and a job
 /// running `AdvConsecutive` attacks the groups *it* occupies.
+///
+/// # Examples
+///
+/// Remap a uniform pattern onto a two-group placement; destinations
+/// stay inside the job:
+///
+/// ```
+/// use df_topology::DragonflyParams;
+/// use df_traffic::PatternSpec;
+/// use df_workload::{JobTraffic, PlacementSpec};
+///
+/// let params = DragonflyParams::figure1();
+/// let placement = PlacementSpec::ConsecutiveGroups { first: 1, count: 2, slots: None }
+///     .resolve(&params, 0)
+///     .unwrap();
+/// let mut traffic = JobTraffic::new(&PatternSpec::Uniform, &placement, &params, 7).unwrap();
+/// for vsrc in 0..16 {
+///     let dst = traffic.dest_of_virtual(vsrc);
+///     assert!(placement.nodes.contains(&dst));
+/// }
+/// ```
 pub struct JobTraffic {
     nodes: Vec<NodeId>,
     group_size: u32,

@@ -20,11 +20,21 @@
 //!   remapped into the job's node set, an injection process, a load, and
 //!   start/stop cycles;
 //! * [`ScenarioSpec`] — a serializable composition of jobs, mechanisms,
-//!   and the measurement protocol (`scenarios/*.json`).
+//!   and the measurement protocol (`scenarios/*.json`);
+//! * [`SweepSpec`] — axes (offered load, placement variant, pattern,
+//!   mechanism) over a base scenario, expanded into a deterministic grid
+//!   of cells (`scenarios/sweep_*.json`) for the paper's
+//!   load-×-placement unfairness grids.
 //!
-//! The scenario *runner* lives in `dragonfly-core` (`run_scenario`),
-//! which drives the simulator's per-node injection path with these
-//! processes and reports per-job results.
+//! The scenario and sweep *runners* live in `dragonfly-core`
+//! (`run_scenario`, `run_sweep`), which drive the simulator's per-node
+//! injection path with these processes and report per-job results —
+//! including **job churn**: jobs with `start_cycle`/`stop_cycle` arrive
+//! and depart mid-run, and a departed job's node slots are reusable by
+//! later arrivals.
+//!
+//! The complete JSON schema reference, with worked examples, is
+//! `docs/SCENARIOS.md` at the repository root.
 //!
 //! [`PatternSpec`]: df_traffic::PatternSpec
 
@@ -34,12 +44,14 @@ mod injection;
 mod job;
 mod placement;
 mod scenario;
+mod sweep;
 mod trace;
 
 pub use injection::{
     Arrival, BernoulliProcess, InjectionProcess, InjectionSpec, OnOffProcess, PoissonProcess,
 };
-pub use job::{JobSpec, JobTraffic, JobTrafficAdapter};
+pub use job::{lifetimes_overlap, JobSpec, JobTraffic, JobTrafficAdapter};
 pub use placement::{PlacementSpec, ResolvedPlacement};
 pub use scenario::ScenarioSpec;
+pub use sweep::{JobPlacement, PlacementVariant, SweepCell, SweepSpec, MAX_SWEEP_CELLS};
 pub use trace::{load_trace, TraceEvent, TraceRecorder, TraceReplay};

@@ -13,6 +13,28 @@ use serde::{Deserialize, Serialize};
 /// `RandomGroups`) optionally restrict the job to a subset of the `p`
 /// node slots on every router — this is how two jobs share every router
 /// of the machine while staying node-disjoint (interference studies).
+///
+/// # Examples
+///
+/// Resolve a two-group allocation on the figure1 machine (`p=2, a=4`:
+/// 8 nodes per group) and inspect its virtual geometry:
+///
+/// ```
+/// use df_topology::DragonflyParams;
+/// use df_workload::PlacementSpec;
+///
+/// let params = DragonflyParams::figure1();
+/// let spec = PlacementSpec::ConsecutiveGroups { first: 1, count: 2, slots: None };
+/// let placement = spec.resolve(&params, 0).unwrap();
+/// assert_eq!(placement.nodes.len(), 16);
+/// // One allocated machine group per virtual group.
+/// assert_eq!(placement.group_size, 8);
+/// assert_eq!(placement.virtual_groups(), 2);
+///
+/// // The same spec round-trips through the scenario JSON format.
+/// let json = serde_json::to_string(&spec).unwrap();
+/// assert!(json.contains("\"placement\":\"consecutive_groups\""));
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "placement", rename_all = "snake_case")]
 pub enum PlacementSpec {

@@ -14,6 +14,37 @@ use serde::{Deserialize, Serialize};
 /// The mechanism axis is a *list* so one scenario file can contrast how
 /// different routing mechanisms treat the same workload (e.g. which one
 /// lets an ADVc aggressor starve a uniform victim).
+///
+/// See `docs/SCENARIOS.md` for the complete JSON schema reference.
+///
+/// # Examples
+///
+/// Parse and validate a minimal one-job scenario from JSON (only
+/// `Option` fields — here the job's lifetime and placement slots — may
+/// be omitted):
+///
+/// ```
+/// use df_workload::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::from_json(r#"{
+///   "name": "minimal",
+///   "params": { "p": 2, "a": 4, "h": 2 },
+///   "arrangement": "Palmtree",
+///   "mechanisms": ["in-transit-mm"],
+///   "arbiter": "TransitPriority",
+///   "warmup_cycles": 500,
+///   "measure_cycles": 1000,
+///   "jobs": [{
+///     "name": "app",
+///     "placement": { "placement": "consecutive_groups", "first": 0, "count": 3 },
+///     "pattern": { "pattern": "uniform" },
+///     "injection": { "process": "bernoulli" },
+///     "load": 0.3
+///   }]
+/// }"#).unwrap();
+/// spec.validate(1).unwrap();
+/// assert_eq!(spec.resolve_placements(1).unwrap()[0].nodes.len(), 24);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Scenario name (used in result files).
@@ -67,24 +98,29 @@ impl ScenarioSpec {
             return Err("measurement window must be nonzero".into());
         }
         let placements = self.resolve_placements(seed)?;
-        let mut owner: Vec<Option<usize>> = vec![None; self.params.nodes() as usize];
+        // Jobs may time-share nodes: a node claim is only a conflict when
+        // the two claimants' lifetimes overlap (a departed job's slots are
+        // reusable by a later arrival).
+        let mut claims: Vec<Vec<usize>> = vec![Vec::new(); self.params.nodes() as usize];
         for (j, (job, placement)) in self.jobs.iter().zip(&placements).enumerate() {
             if !(0.0..=8.0).contains(&job.load) {
                 return Err(format!("job `{}` load {} out of range", job.name, job.load));
             }
-            for n in &placement.nodes {
-                if let Some(other) = owner[n.idx()] {
-                    return Err(format!(
-                        "jobs `{}` and `{}` both claim node {}",
-                        self.jobs[other].name, job.name, n.0
-                    ));
-                }
-                owner[n.idx()] = Some(j);
+            let (start, stop) = job.lifetime();
+            if stop <= start {
+                return Err(format!("job `{}` stops before it starts", job.name));
             }
-            if let (Some(start), Some(stop)) = (job.start_cycle, job.stop_cycle) {
-                if stop <= start {
-                    return Err(format!("job `{}` stops before it starts", job.name));
+            for n in &placement.nodes {
+                for &other in &claims[n.idx()] {
+                    if crate::lifetimes_overlap((start, stop), self.jobs[other].lifetime()) {
+                        return Err(format!(
+                            "jobs `{}` and `{}` both claim node {} with overlapping \
+                             lifetimes",
+                            self.jobs[other].name, job.name, n.0
+                        ));
+                    }
                 }
+                claims[n.idx()].push(j);
             }
         }
         Ok(())
