@@ -10,7 +10,17 @@ echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q"
+# Debug-assertion builds shadow-verify every reused route-cache decision;
+# the suite also carries the golden digests (tests/tests/golden_outputs.rs)
+# and the cache-equivalence proptests (tests/tests/route_cache.rs).
 cargo test -q
+
+echo "==> release-mode shadow verification (route cache, --features shadow-verify)"
+# Release builds drop debug assertions, so the recompute-and-compare check
+# on every reused routing decision is re-enabled explicitly and exercised
+# under the optimized scheduling it is meant to guard.
+cargo test -q --release -p integration-tests --features shadow-verify \
+    --test route_cache --test golden_outputs
 
 echo "==> cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -55,18 +65,26 @@ echo "==> record perf trajectory (bench-results/BENCH_*.json) + regression gate"
 # Fresh results land in staging dirs first; bench_trend merges the runs
 # (per-id median — the loaded full-network cycle drifts with network
 # fill, so a single run is too noisy to gate on), diffs them against the
-# previous artifacts, fails on a >10% median regression, and promotes
-# the merged result into bench-results/ (export
-# BENCH_TREND_FLAGS=--allow-regress for warn-only, as CI does —
-# shared-runner timings are noisier still).
+# previous artifacts, fails on a >10% median regression (except on
+# sub-microsecond ids like the idle-cycle benches, where ns-scale
+# scheduler jitter swamps any percentage), and promotes the merged
+# result into bench-results/ (export BENCH_TREND_FLAGS=--allow-regress
+# for warn-only, as CI does — shared-runner timings are noisier still).
 fresh_dir="$(mktemp -d)"
 for i in 1 2 3 4; do
     BENCH_JSON_DIR="$fresh_dir/run$i" cargo bench -p df-bench --bench router_step
 done
-BENCH_JSON_DIR="$fresh_dir/run1" cargo bench -p df-bench --bench allocator
+# The allocator hotspot (the route-cache acceptance number) is gated on
+# the median of eight runs: single runs of a saturated network cycle
+# swing well past the 10% threshold with scheduler noise, so only merged
+# medians are ever promoted into bench-results/.
+for i in 1 2 3 4 5 6 7 8; do
+    BENCH_JSON_DIR="$fresh_dir/run$i" cargo bench -p df-bench --bench allocator
+done
 # shellcheck disable=SC2086 # BENCH_TREND_FLAGS is intentionally word-split
 cargo run --release -p df-bench --bin bench_trend -- \
     ${BENCH_TREND_FLAGS:-} --baseline bench-results --promote bench-results \
-    "$fresh_dir"/run1 "$fresh_dir"/run2 "$fresh_dir"/run3 "$fresh_dir"/run4
+    "$fresh_dir"/run1 "$fresh_dir"/run2 "$fresh_dir"/run3 "$fresh_dir"/run4 \
+    "$fresh_dir"/run5 "$fresh_dir"/run6 "$fresh_dir"/run7 "$fresh_dir"/run8
 
 echo "CI gate passed."

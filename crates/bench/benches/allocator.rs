@@ -1,11 +1,14 @@
 //! Micro-benchmark: allocation pressure — cycle cost when every input VC
 //! of a router has a head contending for few outputs (worst case for the
-//! separable batch allocator), measured across arbiter policies.
+//! separable batch allocator), measured across arbiter policies, plus the
+//! saturated-ADVc steady state the route-decision cache targets (blocked
+//! adaptive heads everywhere — the allocate-phase hotspot).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use df_engine::{ArbiterPolicy, EngineConfig, Network, NullSink};
 use df_routing::MechanismSpec;
 use df_topology::{Arrangement, DragonflyParams, NodeId, Topology};
+use df_traffic::{AdvConsecutive, Traffic};
 
 /// Build a single-group-bottleneck hotspot: all nodes of group 0 send to
 /// the same remote group, saturating the one exit link and keeping every
@@ -29,8 +32,61 @@ fn hotspot_network(
     net
 }
 
+/// The tentpole workload of the route-decision cache: the whole small
+/// network saturated under ADVc with in-transit adaptive routing, so
+/// every group's exit link is a standing bottleneck and nearly all VC
+/// heads are blocked adaptive decisions. Steady state is reached during
+/// warm-up; the measured body is one loaded network cycle.
+fn saturated_advc_network() -> (
+    Network<Box<dyn df_engine::RoutingPolicy>, NullSink>,
+    AdvConsecutive,
+) {
+    let params = DragonflyParams::small();
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
+    let policy = MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
+    let mut net = Network::new(topo, cfg, policy, NullSink);
+    let mut pattern = AdvConsecutive::new(params, 11);
+    for round in 0..2_000u32 {
+        offer_advc_round(&mut net, &mut pattern, params.nodes(), round);
+        net.step();
+    }
+    (net, pattern)
+}
+
+/// Offer ~40% of nodes (deterministic stride, rotating phase) one ADVc
+/// packet each — the saturating load of the acceptance benchmark.
+fn offer_advc_round(
+    net: &mut Network<Box<dyn df_engine::RoutingPolicy>, NullSink>,
+    pattern: &mut AdvConsecutive,
+    nodes: u32,
+    round: u32,
+) {
+    for n in 0..nodes {
+        if (n + round) % 5 < 2 {
+            let src = NodeId(n);
+            net.offer(src, pattern.dest(src));
+        }
+    }
+}
+
 fn bench_allocator(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocator");
+    group.bench_with_input(
+        BenchmarkId::new("saturated_advc_cycle", "in_transit_mm"),
+        &(),
+        |b, _| {
+            let (mut net, mut pattern) = saturated_advc_network();
+            let nodes = net.topology().params().nodes();
+            let mut round = 2_000u32;
+            b.iter(|| {
+                round = round.wrapping_add(1);
+                offer_advc_round(&mut net, &mut pattern, nodes, round);
+                net.step()
+            })
+        },
+    );
+
     for (arbiter, name) in [
         (ArbiterPolicy::RoundRobin, "round_robin"),
         (ArbiterPolicy::TransitPriority, "transit_priority"),

@@ -5,7 +5,7 @@
 //! result as the new artifact.
 //!
 //! ```text
-//! bench_trend [--threshold PCT] [--allow-regress] \
+//! bench_trend [--threshold PCT] [--noise-floor-ns NS] [--allow-regress] \
 //!             [--baseline DIR] [--promote DIR] FRESH_DIR...
 //! ```
 //!
@@ -17,6 +17,11 @@
 //! * `--baseline DIR` — previous artifacts (default `bench-results`),
 //! * `--threshold PCT` — regression tolerance on the merged median, in
 //!   percent (default 10),
+//! * `--noise-floor-ns NS` — ids whose old or new merged median is
+//!   below this many nanoseconds are reported but never gate (default
+//!   1000): on sub-microsecond bodies — the idle-cycle benches — a few
+//!   ns of scheduler jitter exceeds any percentage threshold, so
+//!   same-code runs would flap,
 //! * `--allow-regress` — print the delta table and warn, but always
 //!   exit zero (the CI escape hatch; local `ci.sh` gates by default),
 //! * `--promote DIR` — on a passing (or `--allow-regress`) exit, write
@@ -55,14 +60,15 @@ struct Args {
     baseline: PathBuf,
     promote: Option<PathBuf>,
     threshold_pct: f64,
+    noise_floor_ns: f64,
     allow_regress: bool,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: bench_trend [--threshold PCT] [--allow-regress] [--baseline DIR] \
-         [--promote DIR] FRESH_DIR..."
+        "usage: bench_trend [--threshold PCT] [--noise-floor-ns NS] [--allow-regress] \
+         [--baseline DIR] [--promote DIR] FRESH_DIR..."
     );
     std::process::exit(2);
 }
@@ -72,6 +78,7 @@ fn parse_args() -> Args {
     let mut baseline = PathBuf::from("bench-results");
     let mut promote = None;
     let mut threshold_pct = 10.0;
+    let mut noise_floor_ns = 1_000.0;
     let mut allow_regress = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -82,6 +89,13 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .filter(|&t: &f64| t > 0.0)
                     .unwrap_or_else(|| die("--threshold needs a positive percentage"));
+            }
+            "--noise-floor-ns" => {
+                noise_floor_ns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| die("--noise-floor-ns needs a non-negative number"));
             }
             "--allow-regress" => allow_regress = true,
             "--baseline" => {
@@ -100,7 +114,7 @@ fn parse_args() -> Args {
     if fresh.is_empty() {
         die("expected at least one FRESH_DIR");
     }
-    Args { fresh, baseline, promote, threshold_pct, allow_regress }
+    Args { fresh, baseline, promote, threshold_pct, noise_floor_ns, allow_regress }
 }
 
 /// Load every `BENCH_*.json` in `dir`, sorted by file name for stable
@@ -238,9 +252,16 @@ fn main() -> ExitCode {
                 }
                 Some(prev) => {
                     let delta_pct = (rec.median_ns - prev.median_ns) / prev.median_ns * 100.0;
-                    let regressed = delta_pct > args.threshold_pct;
+                    // Sub-floor medians never gate: a handful of ns of
+                    // scheduler jitter dwarfs any percentage threshold
+                    // down there, so same-code runs would flap.
+                    let sub_floor =
+                        prev.median_ns < args.noise_floor_ns || rec.median_ns < args.noise_floor_ns;
+                    let regressed = delta_pct > args.threshold_pct && !sub_floor;
                     let status = if regressed {
                         "REGRESSED"
+                    } else if sub_floor && delta_pct.abs() > args.threshold_pct {
+                        "noise (sub-floor)"
                     } else if delta_pct < -args.threshold_pct {
                         "improved"
                     } else {

@@ -21,7 +21,7 @@
 //! per-packet heap allocation (the arena grows once to the peak in-flight
 //! population and then stays fixed).
 
-use crate::packet::{Decision, Packet, PacketHeader, RouteInfo, WaitBreakdown};
+use crate::packet::{Decision, Packet, PacketHeader, RouteDep, RouteInfo, WaitBreakdown};
 
 /// Handle of a live packet in the [`PacketArena`] (slab slot index).
 ///
@@ -60,6 +60,9 @@ pub struct PacketArena {
     eligible_at: Vec<u64>,
     /// Hot: decided output for the current hop, if any.
     decision: Vec<Option<Decision>>,
+    /// Hot: what the current decision depended on (meaningful only while
+    /// `decision` is `Some`; set together with it by the allocator).
+    dep: Vec<RouteDep>,
     /// Cold: everything else.
     cold: Vec<PacketCold>,
     /// Head of the intrusive free list (`FREE_NONE` when full).
@@ -74,6 +77,7 @@ impl PacketArena {
         Self {
             eligible_at: Vec::new(),
             decision: Vec::new(),
+            dep: Vec::new(),
             cold: Vec::new(),
             free_head: FREE_NONE,
             free_len: 0,
@@ -90,6 +94,7 @@ impl PacketArena {
             self.free_len -= 1;
             self.eligible_at[slot] = eligible_at;
             self.decision[slot] = decision;
+            self.dep[slot] = RouteDep::Volatile;
             self.cold[slot] = cold;
             PacketId(slot as u32)
         } else {
@@ -97,6 +102,7 @@ impl PacketArena {
             assert!(slot != FREE_NONE, "arena overflow");
             self.eligible_at.push(eligible_at);
             self.decision.push(decision);
+            self.dep.push(RouteDep::Volatile);
             self.cold.push(cold);
             PacketId(slot)
         }
@@ -177,6 +183,20 @@ impl PacketArena {
     #[inline]
     pub fn take_decision(&mut self, id: PacketId) -> Option<Decision> {
         self.decision[id.0 as usize].take()
+    }
+
+    /// What the current decision depended on (meaningful only while
+    /// [`Self::decision`] is `Some`).
+    #[inline]
+    pub fn dep(&self, id: PacketId) -> RouteDep {
+        self.dep[id.0 as usize]
+    }
+
+    /// Record what a just-computed decision depended on (set together
+    /// with [`Self::set_decision`]).
+    #[inline]
+    pub fn set_dep(&mut self, id: PacketId, dep: RouteDep) {
+        self.dep[id.0 as usize] = dep;
     }
 
     // ------------------------------------------------------------------

@@ -53,6 +53,18 @@ pub enum Event {
         /// Phits freed.
         phits: u32,
     },
+    /// A sleeping input-VC head reaches its `eligible_at` cycle: the VC
+    /// becomes probe-able again. Scheduled whenever a packet becomes the
+    /// head of its VC while still inside the router pipeline, so the
+    /// allocator never polls ineligible heads.
+    HeadWake {
+        /// Router owning the input VC.
+        router: RouterId,
+        /// Input port.
+        port: Port,
+        /// Input VC.
+        vc: u8,
+    },
 }
 
 /// Circular event calendar.

@@ -34,7 +34,8 @@ pub use buffer::{OutputBuffer, Staged, VcBuffer};
 pub use config::{ArbiterPolicy, EngineConfig};
 pub use network::{Counters, Network, PhaseProfile};
 pub use packet::{
-    Decision, DeliveredRecord, Packet, PacketHeader, PacketSeq, Phase, RouteInfo, WaitBreakdown,
+    Decision, DeliveredRecord, Packet, PacketHeader, PacketSeq, Phase, RouteDep, RouteInfo,
+    WaitBreakdown,
 };
 pub use policy::{CycleCtx, NullSink, RoutingPolicy, StatsSink};
 pub use router::{input_capacity_for, vcs_for, RouterState};

@@ -23,7 +23,9 @@ use crate::arena::{PacketArena, PacketId};
 use crate::buffer::Staged;
 use crate::config::{ArbiterPolicy, EngineConfig};
 use crate::events::{Event, EventWheel};
-use crate::packet::{DeliveredRecord, Packet, PacketSeq};
+use crate::packet::{DeliveredRecord, Packet, PacketSeq, RouteDep};
+#[cfg(any(debug_assertions, feature = "shadow-verify"))]
+use crate::packet::Decision;
 use crate::policy::{CycleCtx, RoutingPolicy, StatsSink};
 use crate::router::RouterState;
 use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, Topology};
@@ -253,6 +255,13 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     tx_active: Vec<u64>,
     /// Delivery cycle of the most recent grant anywhere (livelock guard).
     last_progress: u64,
+    /// Route-decision cache switch: when on (the default), adaptive
+    /// decisions are reused while their recorded dependency is unchanged
+    /// and blocked heads with stable decisions are parked until their
+    /// target output port changes. When off, every blocked head is
+    /// re-probed every cycle — the pre-cache behavior the equivalence
+    /// tests compare against.
+    route_cache: bool,
 }
 
 impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
@@ -319,6 +328,27 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             alloc_active: vec![0; bitset_words(n_routers)],
             tx_active: vec![0; bitset_words(n_routers)],
             last_progress: 0,
+            route_cache: true,
+        }
+    }
+
+    /// Whether the route-decision cache (adaptive decision reuse +
+    /// blocked-head parking) is enabled. On by default.
+    #[inline]
+    pub fn route_cache_enabled(&self) -> bool {
+        self.route_cache
+    }
+
+    /// Toggle the route-decision cache. Both settings produce
+    /// bit-identical simulations; disabling merely restores the
+    /// probe-every-blocked-head-every-cycle schedule, for equivalence
+    /// tests and debugging. Disabling unparks every head.
+    pub fn set_route_cache(&mut self, on: bool) {
+        self.route_cache = on;
+        if !on {
+            for r in &mut self.routers {
+                r.unpark_all();
+            }
         }
     }
 
@@ -492,6 +522,13 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             while word != 0 {
                 let r = (w << 6) + word.trailing_zeros() as usize;
                 word &= word - 1;
+                // Every resident head parked: allocation would produce no
+                // proposals and no side effects, so skipping the router
+                // entirely is exact. This is where blocked routers drop
+                // from O(blocked heads) to O(changed ports) per cycle.
+                if self.routers[r].probe_ready() == 0 {
+                    continue;
+                }
                 self.allocate_router(r);
             }
         }
@@ -639,8 +676,21 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                     // Hot lanes only: arrival never touches the cold slot.
                     self.arena.set_eligible_at(pkt, self.cycle + self.cfg.pipeline_latency);
                     self.arena.clear_decision(pkt);
-                    self.routers[router.idx()].push_input(port.idx(), vc as usize, pkt, size);
-                    set_bit(&mut self.alloc_active, router.idx());
+                    let r = router.idx();
+                    let becomes_head =
+                        self.routers[r].inputs[port.idx()][vc as usize].is_empty();
+                    self.routers[r].push_input(port.idx(), vc as usize, pkt, size);
+                    // A new head still in the pipeline sleeps until its
+                    // exact eligibility cycle instead of being probed
+                    // (and rejected) every cycle in between.
+                    if becomes_head && self.cfg.pipeline_latency > 0 {
+                        self.routers[r].sleep(port.idx(), vc as usize);
+                        self.wheel.schedule(
+                            self.cfg.pipeline_latency,
+                            Event::HeadWake { router, port, vc },
+                        );
+                    }
+                    set_bit(&mut self.alloc_active, r);
                 }
                 Event::ArriveNode { node, pkt } => {
                     self.complete_delivery(node, pkt);
@@ -655,6 +705,9 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                     let c = &mut self.nodes[node.idx()].credits[vc as usize];
                     *c += phits;
                     debug_assert!(*c <= self.cfg.injection_input_buffer);
+                }
+                Event::HeadWake { router, port, vc } => {
+                    self.routers[router.idx()].wake(port.idx(), vc as usize);
                 }
             }
         }
@@ -765,9 +818,14 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 if self.alloc_in_budget[in_port] == 0 {
                     continue;
                 }
-                // Ready-VC mask: only VCs with a resident packet are
-                // visited; empty ports cost one load.
-                let ready = self.routers[r].in_ready[in_port];
+                // Ready-VC mask minus parked and sleeping VCs: a parked
+                // head's probe outcome cannot change until its target
+                // port is touched (which unparks it), and a sleeping
+                // head is ineligible until its wake event fires — so
+                // skipping both is exact.
+                let ready = self.routers[r].in_ready[in_port]
+                    & !self.routers[r].in_parked[in_port]
+                    & !self.routers[r].in_sleeping[in_port];
                 if ready == 0 {
                     continue;
                 }
@@ -784,18 +842,35 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                         .expect("ready bit set on empty VC");
                     // Hot-lane probe: the common rejection path (head not
                     // yet through the pipeline) reads one 8-byte lane.
+                    // With head-sleep, an awake ready head is always past
+                    // the pipeline; this probe is a cheap safety net.
                     if self.arena.eligible_at(id) > self.cycle {
+                        debug_assert!(false, "awake head not yet eligible");
                         continue;
                     }
                     // Decide routing for the head if needed — only then
                     // is the cold slot (header + route state) read.
-                    let prior = self.arena.decision(id).filter(|_| !adaptive);
+                    // Non-adaptive policies keep one decision per router
+                    // visit; adaptive policies reuse their cached
+                    // decision while its recorded dependency is intact
+                    // (a dependency-valid recompute is pure and returns
+                    // the same decision, so reuse is bit-identical).
+                    let prior = self
+                        .arena
+                        .decision(id)
+                        .filter(|_| !adaptive || (self.route_cache && self.dep_valid(r, id)));
                     let decision = match prior {
-                        Some(d) => d,
+                        Some(d) => {
+                            #[cfg(any(debug_assertions, feature = "shadow-verify"))]
+                            if adaptive {
+                                self.shadow_verify_reuse(r, in_port, vc, id, d);
+                            }
+                            d
+                        }
                         None => {
                             let cold = self.arena.cold(id);
                             let (hdr, info) = (cold.header, cold.route);
-                            let d = self.policy.route(
+                            let (d, dep) = self.policy.route_with_deps(
                                 &self.routers[r],
                                 Port(in_port as u32),
                                 hdr,
@@ -803,6 +878,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                             );
                             debug_assert!((d.out_port.0 as usize) < radix);
                             self.arena.set_decision(id, d);
+                            self.arena.set_dep(id, dep);
                             d
                         }
                     };
@@ -815,6 +891,26 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                                 .push((in_port as u32, vc as u8));
                         }
                         break;
+                    }
+                    // Blocked. Park the head if its decision cannot
+                    // change before its target port does: sticky
+                    // (non-adaptive) decisions always qualify; adaptive
+                    // ones only when their dependency is the port they
+                    // wait for. Volatile adaptive decisions must
+                    // re-probe every cycle (the recompute may pick a
+                    // different output).
+                    if self.route_cache {
+                        let stable = !adaptive
+                            || match self.arena.dep(id) {
+                                RouteDep::Always => true,
+                                RouteDep::Port { port, .. } => {
+                                    port as usize == decision.out_port.idx()
+                                }
+                                RouteDep::Volatile => false,
+                            };
+                        if stable {
+                            self.routers[r].park(in_port, vc, decision.out_port.idx());
+                        }
                     }
                 }
             }
@@ -909,6 +1005,22 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         if self.routers[r].input_count == 0 {
             clear_bit(&mut self.alloc_active, r);
         }
+        // If the VC's next head is still inside the pipeline, sleep the
+        // VC until its exact eligibility cycle.
+        if let Some(next) = self.routers[r].inputs[in_port][vc].front() {
+            let elig = self.arena.eligible_at(next);
+            if elig > self.cycle {
+                self.routers[r].sleep(in_port, vc);
+                self.wheel.schedule(
+                    elig - self.cycle,
+                    Event::HeadWake {
+                        router: self.routers[r].id(),
+                        port: Port(in_port as u32),
+                        vc: vc as u8,
+                    },
+                );
+            }
+        }
         let decision = self.arena.take_decision(id).expect("granted head has decision");
         debug_assert_eq!(decision.out_port.idx(), out_port);
         {
@@ -997,7 +1109,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 PortKind::Global => pkt.waits.global += wait,
             }
             self.routers[r].outputs[out_port].link_free_at = self.cycle + size as u64;
-            self.routers[r].outputs[out_port].release(size);
+            self.routers[r].release_output(out_port, size);
             if params.port_kind(Port(out_port as u32)) == PortKind::Global {
                 self.mark_global_dirty(r);
             }
@@ -1026,6 +1138,185 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         }
         if self.routers[r].staged_count == 0 {
             clear_bit(&mut self.tx_active, r);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Route-decision cache
+    // ------------------------------------------------------------------
+
+    /// Whether the recorded dependency of `id`'s cached decision still
+    /// holds at router `r` (see [`RouteDep`]).
+    #[inline]
+    fn dep_valid(&self, r: usize, id: PacketId) -> bool {
+        match self.arena.dep(id) {
+            RouteDep::Volatile => false,
+            RouteDep::Always => true,
+            RouteDep::Port { port, epoch } => {
+                self.routers[r].port_epoch(Port(port as u32)) == epoch
+            }
+        }
+    }
+
+    /// Shadow check for a reused adaptive decision: recompute the route
+    /// from scratch and assert it matches the cached decision. Compiled
+    /// only under `debug_assertions` or the `shadow-verify` feature.
+    ///
+    /// The recompute is safe precisely because reuse is restricted to
+    /// dependency-valid decisions, which by the [`RouteDep`] contract were
+    /// produced on RNG-free, state-mutation-free paths — so the recompute
+    /// is pure and perturbs nothing.
+    #[cfg(any(debug_assertions, feature = "shadow-verify"))]
+    fn shadow_verify_reuse(
+        &mut self,
+        r: usize,
+        in_port: usize,
+        vc: usize,
+        id: PacketId,
+        cached: Decision,
+    ) {
+        let cold = self.arena.cold(id);
+        let (hdr, info) = (cold.header, cold.route);
+        let (fresh, fresh_dep) =
+            self.policy.route_with_deps(&self.routers[r], Port(in_port as u32), hdr, info);
+        assert_eq!(
+            cached, fresh,
+            "route cache divergence: reused decision != fresh recompute at \
+             cycle {} router {r} in(port={in_port},vc={vc}) pkt {} (dep {:?}, fresh dep {:?})",
+            self.cycle,
+            hdr.id,
+            self.arena.dep(id),
+            fresh_dep,
+        );
+        debug_assert!(
+            !matches!(fresh_dep, RouteDep::Volatile),
+            "route cache reused a decision whose recompute is volatile at \
+             cycle {} router {r} pkt {}",
+            self.cycle,
+            hdr.id,
+        );
+    }
+
+    /// Shadow check: verify every route-cache invariant against the
+    /// underlying state. O(network); intended for tests (mirrors
+    /// [`Self::assert_work_lists_match_full_scan`]). Panics with a
+    /// diagnostic on the first divergence. Specifically, per router:
+    ///
+    /// * `probe_ready` equals the number of ready, unparked VCs;
+    /// * every parked VC is ready (non-empty) and registered in the
+    ///   waiter mask of the port it parked on;
+    /// * every parked head is eligible, holds a decision for exactly the
+    ///   port it parked on, and that (port, VC) still cannot accept it —
+    ///   a parked head that *could* proceed is a lost wakeup;
+    /// * under an adaptive policy, the parked head's dependency is
+    ///   non-volatile and currently valid, and a pure recompute agrees
+    ///   with the cached decision.
+    pub fn assert_route_cache_coherent(&mut self) {
+        let adaptive = self.policy.adaptive_reroute();
+        let radix = self.topo.params().radix() as usize;
+        for r in 0..self.routers.len() {
+            let mut expect_ready = 0u32;
+            for in_port in 0..radix {
+                let ready = self.routers[r].in_ready[in_port];
+                let parked = self.routers[r].in_parked[in_port];
+                let sleeping = self.routers[r].in_sleeping[in_port];
+                assert_eq!(
+                    parked & !ready,
+                    0,
+                    "parked VC without resident packet at router {r} port {in_port}, cycle {}",
+                    self.cycle
+                );
+                assert_eq!(
+                    sleeping & !ready,
+                    0,
+                    "sleeping VC without resident packet at router {r} port {in_port}, cycle {}",
+                    self.cycle
+                );
+                assert_eq!(
+                    sleeping & parked,
+                    0,
+                    "VC both sleeping and parked at router {r} port {in_port}, cycle {}",
+                    self.cycle
+                );
+                let mut smask = sleeping;
+                while smask != 0 {
+                    let vc = smask.trailing_zeros() as usize;
+                    smask &= smask - 1;
+                    let (id, _) = self.routers[r].inputs[in_port][vc]
+                        .front_entry()
+                        .expect("sleeping bit set on empty VC");
+                    assert!(
+                        self.arena.eligible_at(id) > self.cycle,
+                        "sleeping head already eligible (missed wake) at router {r} \
+                         in(port={in_port},vc={vc}), cycle {}",
+                        self.cycle
+                    );
+                }
+                expect_ready += (ready & !parked & !sleeping).count_ones();
+                let mut mask = parked;
+                while mask != 0 {
+                    let vc = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let target = self.routers[r]
+                        .parked_target(Port(in_port as u32), vc as u8)
+                        .expect("parked bit set without parked_on target");
+                    assert!(
+                        self.routers[r].waiters[target.idx()] & (1u64 << in_port) != 0,
+                        "parked head not in waiter mask of its target port at \
+                         router {r} in(port={in_port},vc={vc}) -> out {}, cycle {}",
+                        target.0,
+                        self.cycle
+                    );
+                    let (id, size) = self.routers[r].inputs[in_port][vc]
+                        .front_entry()
+                        .expect("parked bit set on empty VC");
+                    assert!(
+                        self.arena.eligible_at(id) <= self.cycle,
+                        "parked head not yet eligible at router {r} \
+                         in(port={in_port},vc={vc}), cycle {}",
+                        self.cycle
+                    );
+                    let d = self
+                        .arena
+                        .decision(id)
+                        .expect("parked head without a cached decision");
+                    assert_eq!(
+                        d.out_port, target,
+                        "parked head's decision targets a different port at \
+                         router {r} in(port={in_port},vc={vc}), cycle {}",
+                        self.cycle
+                    );
+                    assert!(
+                        !self.routers[r].can_accept(d.out_port, d.out_vc, size),
+                        "lost wakeup: parked head could proceed at router {r} \
+                         in(port={in_port},vc={vc}) -> out {}, cycle {}",
+                        d.out_port.0,
+                        self.cycle
+                    );
+                    if adaptive {
+                        assert!(
+                            !matches!(self.arena.dep(id), RouteDep::Volatile),
+                            "volatile decision parked at router {r} \
+                             in(port={in_port},vc={vc}), cycle {}",
+                            self.cycle
+                        );
+                        assert!(
+                            self.dep_valid(r, id),
+                            "parked head's dependency went stale without an \
+                             unpark at router {r} in(port={in_port},vc={vc}), cycle {}",
+                            self.cycle
+                        );
+                        #[cfg(any(debug_assertions, feature = "shadow-verify"))]
+                        self.shadow_verify_reuse(r, in_port, vc, id, d);
+                    }
+                }
+            }
+            assert_eq!(
+                self.routers[r].probe_ready(),
+                expect_ready,
+                "probe_ready counter diverged at router {r}, cycle {}",
+                self.cycle
+            );
         }
     }
 }

@@ -123,6 +123,33 @@ pub struct Packet {
     pub decision: Option<Decision>,
 }
 
+/// What a cached routing [`Decision`] depended on, recorded by the
+/// engine's route-decision cache when the decision is computed (see
+/// [`crate::RoutingPolicy::route_with_deps`]). The cache reuses an
+/// adaptive policy's decision only while its dependency is unchanged, and
+/// parks blocked heads whose decision is stable until the dependency's
+/// port is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDep {
+    /// The decision depended on state the engine cannot track — it
+    /// consumed RNG or mutated policy state. Never reusable; blocked
+    /// heads with a volatile adaptive decision re-probe every cycle.
+    Volatile,
+    /// The decision is independent of congestion (e.g. ejection at the
+    /// destination router). Always reusable.
+    Always,
+    /// The decision read only the congestion of `port`, captured at
+    /// `epoch` of that port's change counter
+    /// ([`crate::RouterState::port_epoch`]): reusable while the router's
+    /// current epoch for the port still equals `epoch`.
+    Port {
+        /// Output port whose congestion the decision read.
+        port: u8,
+        /// The port's change epoch at read time.
+        epoch: u32,
+    },
+}
+
 /// A routing decision for the current hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Decision {

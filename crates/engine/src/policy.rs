@@ -1,6 +1,6 @@
 //! Extension points: routing policies and statistics sinks.
 
-use crate::packet::{Decision, DeliveredRecord, PacketHeader, RouteInfo};
+use crate::packet::{Decision, DeliveredRecord, PacketHeader, RouteDep, RouteInfo};
 use crate::router::RouterState;
 use df_topology::Port;
 
@@ -49,6 +49,28 @@ pub trait RoutingPolicy {
         info: RouteInfo,
     ) -> Decision;
 
+    /// Like [`RoutingPolicy::route`], additionally classifying what the
+    /// decision depended on. The engine's route-decision cache reuses an
+    /// adaptive policy's cached decision while its [`RouteDep`] is still
+    /// valid, and parks blocked heads with stable decisions until the
+    /// dependency's port changes.
+    ///
+    /// The default classifies every decision as [`RouteDep::Volatile`]
+    /// (never reusable), which is always correct. Policies whose
+    /// decisions are pure functions of a single output port's congestion
+    /// should override this with the precise dependency; a decision that
+    /// consumed RNG or mutated policy state MUST stay volatile, or
+    /// same-seed reproducibility breaks.
+    fn route_with_deps(
+        &mut self,
+        router: &RouterState,
+        in_port: Port,
+        hdr: PacketHeader,
+        info: RouteInfo,
+    ) -> (Decision, RouteDep) {
+        (self.route(router, in_port, hdr, info), RouteDep::Volatile)
+    }
+
     /// If true, pending (ungranted) decisions are recomputed every cycle —
     /// this is what makes a mechanism *in-transit adaptive*. Oblivious and
     /// source-adaptive mechanisms decide once per hop.
@@ -79,6 +101,16 @@ impl<T: RoutingPolicy + ?Sized> RoutingPolicy for Box<T> {
         info: RouteInfo,
     ) -> Decision {
         (**self).route(router, in_port, hdr, info)
+    }
+
+    fn route_with_deps(
+        &mut self,
+        router: &RouterState,
+        in_port: Port,
+        hdr: PacketHeader,
+        info: RouteInfo,
+    ) -> (Decision, RouteDep) {
+        (**self).route_with_deps(router, in_port, hdr, info)
     }
 
     fn adaptive_reroute(&self) -> bool {

@@ -2,15 +2,21 @@
 //! the congestion views consumed by adaptive routing policies.
 //!
 //! All buffer and credit mutations go through the `push_input` /
-//! `pop_input` / `stage_output` / `pop_output` / `reserve_credit` /
-//! `return_credit` methods, which keep three derived structures in sync:
+//! `pop_input` / `stage_output` / `pop_output` / `release_output` /
+//! `reserve_credit` / `return_credit` methods, which keep the derived
+//! structures in sync:
 //!
 //! * `in_ready` — a bitmask of non-empty VCs per input port, so the
 //!   switch allocator only visits occupied VCs;
 //! * `input_count` / `staged_count` — router-level packet counts, so
 //!   idle routers are skipped outright;
 //! * `downstream_used` — cached consumed-credit phits per output port,
-//!   making every congestion probe O(1) instead of O(VCs).
+//!   making every congestion probe O(1) instead of O(VCs);
+//! * `port_epoch` / `in_parked` / `waiters` / `probe_ready` — the
+//!   route-decision cache's change tracking: every mutation of an output
+//!   port's allocator-visible state bumps the port's epoch and wakes
+//!   heads parked on it, so a blocked router pays O(changed ports) per
+//!   cycle instead of O(blocked heads).
 
 use crate::arena::PacketId;
 use crate::buffer::{OutputBuffer, Staged, VcBuffer};
@@ -50,6 +56,30 @@ pub struct RouterState {
     pub(crate) input_count: u32,
     /// Packets staged across all output buffers.
     pub(crate) staged_count: u32,
+    /// Change epoch per output port, bumped by every mutation of the
+    /// port's allocator-visible state (credit reserve/return, staging,
+    /// output-buffer release). Cached routing decisions record the epoch
+    /// of the port they read; a mismatch marks them stale.
+    port_epoch: Vec<u32>,
+    /// Bitmask of *parked* VCs per input port: heads whose routing
+    /// decision is stable but whose target output cannot accept them.
+    /// The allocator skips them until the target port is touched.
+    pub(crate) in_parked: Vec<u32>,
+    /// Output port each parked `(port, vc)` head waits on (`[port][vc]`,
+    /// meaningful only while the parked bit is set).
+    parked_on: Vec<Vec<u8>>,
+    /// Bitmask of input ports with at least one VC parked on this output
+    /// port, `[out_port]` — the wake list `touch_port` consults.
+    pub(crate) waiters: Vec<u64>,
+    /// Bitmask of *sleeping* VCs per input port: heads still inside the
+    /// router pipeline (`eligible_at > cycle`). The engine schedules a
+    /// `HeadWake` event for the exact eligibility cycle, so these heads
+    /// are never probed early.
+    pub(crate) in_sleeping: Vec<u32>,
+    /// Number of non-empty, unparked, awake input VCs — the heads the
+    /// allocator could probe this cycle. Zero means allocation is a
+    /// no-op for this router.
+    probe_ready: u32,
 }
 
 /// Number of VCs for a port of the given kind under `cfg`.
@@ -80,7 +110,7 @@ impl RouterState {
     pub fn new(id: RouterId, params: &DragonflyParams, cfg: &EngineConfig) -> Self {
         let radix = params.radix() as usize;
         assert!(radix <= 64, "out_ready bitmask supports at most 64 ports");
-        let mut inputs = Vec::with_capacity(radix);
+        let mut inputs: Vec<Vec<VcBuffer>> = Vec::with_capacity(radix);
         let mut outputs = Vec::with_capacity(radix);
         let mut credits = Vec::with_capacity(radix);
         let mut credit_caps = Vec::with_capacity(radix);
@@ -100,6 +130,7 @@ impl RouterState {
             credit_caps.push(vec![dcap; dvcs]);
         }
         let downstream_cap = credit_caps.iter().map(|caps| caps.iter().sum()).collect();
+        let parked_on = inputs.iter().map(|vcs| vec![0u8; vcs.len()]).collect();
         Self {
             id,
             inputs,
@@ -114,6 +145,12 @@ impl RouterState {
             out_ready: 0,
             input_count: 0,
             staged_count: 0,
+            port_epoch: vec![0; radix],
+            in_parked: vec![0; radix],
+            parked_on,
+            waiters: vec![0; radix],
+            in_sleeping: vec![0; radix],
+            probe_ready: 0,
         }
     }
 
@@ -129,8 +166,14 @@ impl RouterState {
 
     /// Enqueue an arriving packet on `port`, VC `vc`.
     pub(crate) fn push_input(&mut self, port: usize, vc: usize, id: PacketId, size: u32) {
+        let newly_occupied = self.inputs[port][vc].is_empty();
         self.inputs[port][vc].push(id, size);
         self.in_ready[port] |= 1 << vc;
+        if newly_occupied {
+            debug_assert!(self.in_parked[port] & (1 << vc) == 0, "empty VC cannot be parked");
+            debug_assert!(self.in_sleeping[port] & (1 << vc) == 0, "empty VC cannot sleep");
+            self.probe_ready += 1;
+        }
         self.input_count += 1;
     }
 
@@ -140,10 +183,13 @@ impl RouterState {
     /// # Panics
     /// Panics if the VC is empty.
     pub(crate) fn pop_input(&mut self, port: usize, vc: usize) -> (PacketId, u32) {
+        debug_assert!(self.in_parked[port] & (1 << vc) == 0, "granted a parked head");
+        debug_assert!(self.in_sleeping[port] & (1 << vc) == 0, "granted a sleeping head");
         let buf = &mut self.inputs[port][vc];
         let entry = buf.pop().expect("pop from empty input VC");
         if buf.is_empty() {
             self.in_ready[port] &= !(1 << vc);
+            self.probe_ready -= 1;
         }
         self.input_count -= 1;
         entry
@@ -155,6 +201,7 @@ impl RouterState {
         debug_assert!(*c >= size, "allocator granted without credit");
         *c -= size;
         self.downstream_used[port] += size;
+        self.touch_port(port);
     }
 
     /// Return downstream credit on `port`, VC `vc` (space freed below).
@@ -163,6 +210,7 @@ impl RouterState {
         *c += phits;
         debug_assert!(*c <= self.credit_caps[port][vc], "credit overflow");
         self.downstream_used[port] -= phits;
+        self.touch_port(port);
     }
 
     /// Stage a granted packet at output `port`.
@@ -170,6 +218,14 @@ impl RouterState {
         self.outputs[port].push(staged);
         self.out_ready |= 1 << port;
         self.staged_count += 1;
+        self.touch_port(port);
+    }
+
+    /// Free output-buffer space at `port` once the head packet starts
+    /// serializing onto the link, and wake heads parked on the port.
+    pub(crate) fn release_output(&mut self, port: usize, size: u32) {
+        self.outputs[port].release(size);
+        self.touch_port(port);
     }
 
     /// Dequeue the head of output `port` for transmission.
@@ -183,6 +239,84 @@ impl RouterState {
         }
         self.staged_count -= 1;
         staged
+        // No `touch_port`: occupancy only changes on `release_output`.
+    }
+
+    // ------------------------------------------------------------------
+    // Route-decision cache: port epochs and blocked-head parking
+    // ------------------------------------------------------------------
+
+    /// Bump `port`'s change epoch (invalidating cached decisions that
+    /// read it) and unpark every head waiting on it.
+    #[inline]
+    pub(crate) fn touch_port(&mut self, port: usize) {
+        self.port_epoch[port] = self.port_epoch[port].wrapping_add(1);
+        let mut wake = self.waiters[port];
+        if wake == 0 {
+            return;
+        }
+        self.waiters[port] = 0;
+        while wake != 0 {
+            let q = wake.trailing_zeros() as usize;
+            wake &= wake - 1;
+            let mut parked = self.in_parked[q];
+            while parked != 0 {
+                let vc = parked.trailing_zeros() as usize;
+                parked &= parked - 1;
+                if self.parked_on[q][vc] as usize == port {
+                    self.in_parked[q] &= !(1 << vc);
+                    self.probe_ready += 1;
+                }
+            }
+        }
+    }
+
+    /// Park the head of (`in_port`, `vc`): its decision targets
+    /// `out_port`, which cannot accept it, and the decision is stable
+    /// until `out_port` changes — so the allocator skips the VC until
+    /// `touch_port(out_port)` wakes it.
+    #[inline]
+    pub(crate) fn park(&mut self, in_port: usize, vc: usize, out_port: usize) {
+        debug_assert!(self.in_ready[in_port] & (1 << vc) != 0, "parking an empty VC");
+        debug_assert!(self.in_parked[in_port] & (1 << vc) == 0, "double park");
+        debug_assert!(self.in_sleeping[in_port] & (1 << vc) == 0, "parking a sleeping VC");
+        self.in_parked[in_port] |= 1 << vc;
+        self.parked_on[in_port][vc] = out_port as u8;
+        self.waiters[out_port] |= 1 << in_port;
+        self.probe_ready -= 1;
+    }
+
+    /// Forget all parking state (route cache toggled off mid-run).
+    /// Epochs are left alone — staleness checks only compare equality.
+    pub(crate) fn unpark_all(&mut self) {
+        for q in 0..self.in_parked.len() {
+            self.probe_ready += self.in_parked[q].count_ones();
+            self.in_parked[q] = 0;
+        }
+        self.waiters.fill(0);
+    }
+
+    /// Put the head of (`port`, `vc`) to sleep until its pipeline delay
+    /// elapses: the engine schedules a `HeadWake` event for the head's
+    /// exact `eligible_at` cycle, so the allocator never probes a head
+    /// that cannot be eligible yet. Unlike parking, sleeping is a pure
+    /// time-based skip, independent of the route cache.
+    #[inline]
+    pub(crate) fn sleep(&mut self, port: usize, vc: usize) {
+        debug_assert!(self.in_ready[port] & (1 << vc) != 0, "sleeping an empty VC");
+        debug_assert!(self.in_parked[port] & (1 << vc) == 0, "sleeping a parked VC");
+        debug_assert!(self.in_sleeping[port] & (1 << vc) == 0, "double sleep");
+        self.in_sleeping[port] |= 1 << vc;
+        self.probe_ready -= 1;
+    }
+
+    /// Wake the sleeping head of (`port`, `vc`) — its `eligible_at` cycle
+    /// has arrived.
+    #[inline]
+    pub(crate) fn wake(&mut self, port: usize, vc: usize) {
+        debug_assert!(self.in_sleeping[port] & (1 << vc) != 0, "wake without sleep");
+        self.in_sleeping[port] &= !(1 << vc);
+        self.probe_ready += 1;
     }
 
     // ------------------------------------------------------------------
@@ -284,6 +418,46 @@ impl RouterState {
     /// through [`crate::network::Network::packet`]).
     pub fn head(&self, port: Port, vc: u8) -> Option<PacketId> {
         self.inputs[port.idx()][vc as usize].front()
+    }
+
+    /// Change epoch of output `port`: bumped by every credit
+    /// reserve/return, staging, and output-buffer release on the port.
+    /// Cached decisions recording [`crate::RouteDep::Port`] are valid
+    /// while this still equals their captured epoch.
+    #[inline]
+    pub fn port_epoch(&self, port: Port) -> u32 {
+        self.port_epoch[port.idx()]
+    }
+
+    /// Bitmask of parked VCs on input `port` (blocked heads the
+    /// allocator skips until their target output is touched).
+    #[inline]
+    pub fn parked_vcs(&self, port: Port) -> u32 {
+        self.in_parked[port.idx()]
+    }
+
+    /// Bitmask of sleeping VCs on input `port` (heads still inside the
+    /// router pipeline, skipped until their `HeadWake` event fires).
+    #[inline]
+    pub fn sleeping_vcs(&self, port: Port) -> u32 {
+        self.in_sleeping[port.idx()]
+    }
+
+    /// Output port the parked head of (`port`, `vc`) is waiting on, if
+    /// that VC is parked.
+    pub fn parked_target(&self, port: Port, vc: u8) -> Option<Port> {
+        if self.in_parked[port.idx()] & (1 << vc) != 0 {
+            Some(Port(self.parked_on[port.idx()][vc as usize] as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Number of non-empty, unparked input VCs (the heads the switch
+    /// allocator could probe this cycle).
+    #[inline]
+    pub fn probe_ready(&self) -> u32 {
+        self.probe_ready
     }
 }
 

@@ -27,7 +27,7 @@ use crate::common::{
     VcPlan,
 };
 use df_engine::{
-    Decision, EngineConfig, PacketHeader, Phase, RouteInfo, RouterState, RoutingPolicy,
+    Decision, EngineConfig, PacketHeader, Phase, RouteDep, RouteInfo, RouterState, RoutingPolicy,
 };
 use df_topology::{GroupId, Port, PortKind, PortLayout, RouterId, Topology};
 use rand::rngs::SmallRng;
@@ -72,6 +72,22 @@ pub enum CongestionSignal {
     VcCredits,
 }
 
+/// How the escape candidate of a global misroute is selected among the
+/// (equal-cost) CRG alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeSelect {
+    /// Sample one candidate uniformly at random per decision (the
+    /// paper's mechanisms; consumes RNG on every congested-minimal
+    /// evaluation).
+    Random,
+    /// Deterministic least-recently-granted tie-break: consider every
+    /// uncongested CRG candidate and escape through the one this router
+    /// routed an escape through longest ago. RNG-free; trades the
+    /// statistical spreading of random selection for a rotation
+    /// guarantee under sustained congestion.
+    Lru,
+}
+
 /// In-transit adaptive routing mechanism.
 pub struct InTransit {
     topo: Topology,
@@ -84,6 +100,13 @@ pub struct InTransit {
     reevaluate: bool,
     /// Congestion estimate in use.
     signal: CongestionSignal,
+    /// Escape-candidate selection (see [`EscapeSelect`]).
+    escape: EscapeSelect,
+    /// LRU state, `[router][global port j]` flattened: the stamp of the
+    /// last escape this router sent through candidate `j`.
+    last_routed: Vec<u64>,
+    /// Monotonic stamp source for `last_routed`.
+    lru_stamp: u64,
     rng: SmallRng,
 }
 
@@ -109,6 +132,9 @@ impl InTransit {
             threshold,
             reevaluate: false,
             signal: CongestionSignal::VcCredits,
+            escape: EscapeSelect::Random,
+            last_routed: Vec::new(),
+            lru_stamp: 0,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -116,6 +142,17 @@ impl InTransit {
     /// Select the congestion estimate (ablation).
     pub fn with_signal(mut self, signal: CongestionSignal) -> Self {
         self.signal = signal;
+        self
+    }
+
+    /// Switch the global-misroute escape to the deterministic LRU
+    /// tie-break ([`EscapeSelect::Lru`]). Meaningful with the CRG policy,
+    /// whose candidate set is exactly the current router's own `h` global
+    /// ports.
+    pub fn with_lru_escape(mut self) -> Self {
+        let params = self.topo.params();
+        self.escape = EscapeSelect::Lru;
+        self.last_routed = vec![0; (params.routers() * params.h) as usize];
         self
     }
 
@@ -139,6 +176,166 @@ impl InTransit {
     pub fn with_reevaluation(mut self, on: bool) -> Self {
         self.reevaluate = on;
         self
+    }
+
+    /// The full routing decision plus what it depended on.
+    ///
+    /// Dependency classification (drives the engine's route-decision
+    /// cache): the ejection and uncongested-minimal fast paths are pure
+    /// reads of at most one output port's congestion and get `Always` /
+    /// `Port` dependencies; so does the congested-minimal fallback when
+    /// neither misroute gate is open (the gates read only packet state).
+    /// Every path that enters a misroute evaluation is `Volatile` — it
+    /// consumes RNG (random escape, local misroute) or reads several
+    /// candidate ports and mutates the LRU state, so a recompute is not
+    /// guaranteed to reproduce it.
+    fn decide(
+        &mut self,
+        router: &RouterState,
+        in_port: Port,
+        hdr: PacketHeader,
+        info: RouteInfo,
+    ) -> (Decision, RouteDep) {
+        let params = *self.topo.params();
+        let me = router.id();
+        let mut info = normalize_route_state(&self.topo, me, info);
+        let target = current_target(hdr.dst, &info);
+        let min_out = minimal_out(&self.topo, me, target);
+        let min_kind = params.port_kind(min_out);
+
+        // Minimal wins outright while uncongested (ejection is free).
+        if min_kind == PortKind::Injection {
+            return (make_decision(&self.topo, min_out, info, &self.plan), RouteDep::Always);
+        }
+        let min_vc = crate::common::vc_for(min_kind, &info, &self.plan);
+        let occ_min = self.congestion(router, min_out, min_vc);
+        let min_dep = RouteDep::Port { port: min_out.0 as u8, epoch: router.port_epoch(min_out) };
+        if occ_min <= self.threshold {
+            return (make_decision(&self.topo, min_out, info, &self.plan), min_dep);
+        }
+
+        let my_group = me.group(&params);
+        let in_source_group = my_group == hdr.src.group(&params);
+        let at_injection = params.port_kind(in_port) == PortKind::Injection;
+
+        // --- Global misroute (source group only, once per packet). ---
+        let may_global = in_source_group
+            && !info.global_misrouted
+            && info.phase == Phase::ToDestination
+            && hdr.dst.group(&params) != my_group;
+
+        // --- Local misroute (OLM-style: destination group only, once,
+        // around a congested local minimal hop). Restricting it to the
+        // destination group keeps the VC channel-dependency graph acyclic
+        // with 3 local VCs (see `vc_for`); misrouted packets there are at
+        // most two local hops from their always-draining ejection port.
+        let may_local = !in_source_group
+            && my_group == hdr.dst.group(&params)
+            && !info.local_misrouted
+            && min_kind == PortKind::Local
+            && info.phase == Phase::ToDestination;
+
+        // Neither misroute gate open: the congested minimal port is the
+        // only congestion this decision read, and no RNG was consumed.
+        if !may_global && !may_local {
+            return (make_decision(&self.topo, min_out, info, &self.plan), min_dep);
+        }
+
+        if may_global {
+            match self.escape {
+                EscapeSelect::Random => {
+                    let cand_group = self.sample_group(me, at_injection);
+                    let inter = entry_node_of_group(&self.topo, my_group, cand_group);
+                    if inter.router(&params) != me {
+                        let cand_out = minimal_out(&self.topo, me, inter);
+                        let cand_vc = crate::common::vc_for(
+                            params.port_kind(cand_out),
+                            &info,
+                            &self.plan,
+                        );
+                        if self.congestion(router, cand_out, cand_vc) < self.threshold {
+                            info.global_misrouted = true;
+                            info.phase = Phase::ToIntermediate;
+                            info.intermediate = Some(inter);
+                            return (
+                                make_decision(&self.topo, cand_out, info, &self.plan),
+                                RouteDep::Volatile,
+                            );
+                        }
+                    }
+                }
+                EscapeSelect::Lru => {
+                    // Deterministic CRG scan: every uncongested candidate
+                    // behind one of my own global ports competes; the one
+                    // granted an escape longest ago wins (port index
+                    // breaks stamp ties, so the cold start rotates
+                    // j = 0, 1, …, h-1).
+                    let mut best: Option<(u64, u32, Port, df_topology::NodeId)> = None;
+                    for j in 0..params.h {
+                        let cand_group = self.topo.global_port_target_group(me, j);
+                        let inter = entry_node_of_group(&self.topo, my_group, cand_group);
+                        if inter.router(&params) == me {
+                            continue;
+                        }
+                        let cand_out = minimal_out(&self.topo, me, inter);
+                        let cand_vc = crate::common::vc_for(
+                            params.port_kind(cand_out),
+                            &info,
+                            &self.plan,
+                        );
+                        if self.congestion(router, cand_out, cand_vc) >= self.threshold {
+                            continue;
+                        }
+                        let stamp =
+                            self.last_routed[(me.0 * params.h + j) as usize];
+                        if best.is_none_or(|(s, bj, _, _)| (stamp, j) < (s, bj)) {
+                            best = Some((stamp, j, cand_out, inter));
+                        }
+                    }
+                    if let Some((_, j, cand_out, inter)) = best {
+                        self.lru_stamp += 1;
+                        self.last_routed[(me.0 * params.h + j) as usize] = self.lru_stamp;
+                        info.global_misrouted = true;
+                        info.phase = Phase::ToIntermediate;
+                        info.intermediate = Some(inter);
+                        return (
+                            make_decision(&self.topo, cand_out, info, &self.plan),
+                            RouteDep::Volatile,
+                        );
+                    }
+                }
+            }
+        }
+
+        if may_local {
+            let avoid = target.router(&params).local_index(&params);
+            let my_idx = me.local_index(&params);
+            // Sample a random other router that is neither me nor the
+            // minimal next router.
+            let mut x = self.rng.gen_range(0..params.a);
+            for _ in 0..params.a {
+                if x != my_idx && x != avoid {
+                    break;
+                }
+                x = (x + 1) % params.a;
+            }
+            if x != my_idx && x != avoid {
+                let cand_out = params.local_port(my_idx, x);
+                let cand_vc = crate::common::vc_for(PortKind::Local, &info, &self.plan);
+                if self.congestion(router, cand_out, cand_vc) < self.threshold {
+                    info.local_misrouted = true;
+                    return (
+                        make_decision(&self.topo, cand_out, info, &self.plan),
+                        RouteDep::Volatile,
+                    );
+                }
+            }
+        }
+
+        // A misroute was evaluated but rejected: RNG may have been
+        // consumed and candidate congestion was read, so the rejection is
+        // not reproducible from `min_out` alone.
+        (make_decision(&self.topo, min_out, info, &self.plan), RouteDep::Volatile)
     }
 
     /// Sample a candidate intermediate group for a global misroute from
@@ -191,79 +388,17 @@ impl RoutingPolicy for InTransit {
         hdr: PacketHeader,
         info: RouteInfo,
     ) -> Decision {
-        let params = *self.topo.params();
-        let me = router.id();
-        let mut info = normalize_route_state(&self.topo, me, info);
-        let target = current_target(hdr.dst, &info);
-        let min_out = minimal_out(&self.topo, me, target);
-        let min_kind = params.port_kind(min_out);
+        self.decide(router, in_port, hdr, info).0
+    }
 
-        // Minimal wins outright while uncongested (ejection is free).
-        let min_vc = crate::common::vc_for(min_kind, &info, &self.plan);
-        let occ_min = self.congestion(router, min_out, min_vc);
-        if min_kind == PortKind::Injection || occ_min <= self.threshold {
-            return make_decision(&self.topo, min_out, info, &self.plan);
-        }
-
-        let my_group = me.group(&params);
-        let in_source_group = my_group == hdr.src.group(&params);
-        let at_injection = params.port_kind(in_port) == PortKind::Injection;
-
-        // --- Global misroute (source group only, once per packet). ---
-        let may_global = in_source_group
-            && !info.global_misrouted
-            && info.phase == Phase::ToDestination
-            && hdr.dst.group(&params) != my_group;
-        if may_global {
-            let cand_group = self.sample_group(me, at_injection);
-            let inter = entry_node_of_group(&self.topo, my_group, cand_group);
-            if inter.router(&params) != me {
-                let cand_out = minimal_out(&self.topo, me, inter);
-                let cand_vc =
-                    crate::common::vc_for(params.port_kind(cand_out), &info, &self.plan);
-                if self.congestion(router, cand_out, cand_vc) < self.threshold {
-                    info.global_misrouted = true;
-                    info.phase = Phase::ToIntermediate;
-                    info.intermediate = Some(inter);
-                    return make_decision(&self.topo, cand_out, info, &self.plan);
-                }
-            }
-        }
-
-        // --- Local misroute (OLM-style: destination group only, once,
-        // around a congested local minimal hop). Restricting it to the
-        // destination group keeps the VC channel-dependency graph acyclic
-        // with 3 local VCs (see `vc_for`); misrouted packets there are at
-        // most two local hops from their always-draining ejection port.
-        let may_local = !in_source_group
-            && my_group == hdr.dst.group(&params)
-            && !info.local_misrouted
-            && min_kind == PortKind::Local
-            && info.phase == Phase::ToDestination;
-        if may_local {
-            let avoid = target.router(&params).local_index(&params);
-            let my_idx = me.local_index(&params);
-            // Sample a random other router that is neither me nor the
-            // minimal next router.
-            let mut x = self.rng.gen_range(0..params.a);
-            for _ in 0..params.a {
-                if x != my_idx && x != avoid {
-                    break;
-                }
-                x = (x + 1) % params.a;
-            }
-            if x != my_idx && x != avoid {
-                let cand_out = params.local_port(my_idx, x);
-                let cand_vc =
-                    crate::common::vc_for(PortKind::Local, &info, &self.plan);
-                if self.congestion(router, cand_out, cand_vc) < self.threshold {
-                    info.local_misrouted = true;
-                    return make_decision(&self.topo, cand_out, info, &self.plan);
-                }
-            }
-        }
-
-        make_decision(&self.topo, min_out, info, &self.plan)
+    fn route_with_deps(
+        &mut self,
+        router: &RouterState,
+        in_port: Port,
+        hdr: PacketHeader,
+        info: RouteInfo,
+    ) -> (Decision, RouteDep) {
+        self.decide(router, in_port, hdr, info)
     }
 
     fn adaptive_reroute(&self) -> bool {
@@ -271,6 +406,9 @@ impl RoutingPolicy for InTransit {
     }
 
     fn name(&self) -> &'static str {
+        if self.escape == EscapeSelect::Lru {
+            return "In-Trns-LRU";
+        }
         match self.policy {
             GlobalMisrouting::Rrg => "In-Trns-RRG",
             GlobalMisrouting::Crg => "In-Trns-CRG",

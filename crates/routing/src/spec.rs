@@ -30,6 +30,10 @@ pub enum MechanismSpec {
     InTransitCrg,
     /// In-transit adaptive, Mixed-mode global misrouting.
     InTransitMm,
+    /// In-transit adaptive, CRG global misrouting with the deterministic
+    /// least-recently-granted escape tie-break instead of random
+    /// candidate sampling (not part of the paper's set).
+    InTransitLru,
 }
 
 impl MechanismSpec {
@@ -56,7 +60,8 @@ impl MechanismSpec {
             | MechanismSpec::SourceCrg => 4,
             MechanismSpec::InTransitRrg
             | MechanismSpec::InTransitCrg
-            | MechanismSpec::InTransitMm => 3,
+            | MechanismSpec::InTransitMm
+            | MechanismSpec::InTransitLru => 3,
         }
     }
 
@@ -97,6 +102,9 @@ impl MechanismSpec {
             MechanismSpec::InTransitMm => {
                 Box::new(InTransit::new(topo, cfg, GlobalMisrouting::Mm, seed))
             }
+            MechanismSpec::InTransitLru => Box::new(
+                InTransit::new(topo, cfg, GlobalMisrouting::Crg, seed).with_lru_escape(),
+            ),
         }
     }
 
@@ -111,6 +119,7 @@ impl MechanismSpec {
             MechanismSpec::InTransitRrg => "In-Trns-RRG",
             MechanismSpec::InTransitCrg => "In-Trns-CRG",
             MechanismSpec::InTransitMm => "In-Trns-MM",
+            MechanismSpec::InTransitLru => "In-Trns-LRU",
         }
     }
 }
@@ -124,7 +133,10 @@ mod tests {
     #[test]
     fn every_mechanism_builds_and_delivers() {
         let params = DragonflyParams::figure1();
-        for spec in MechanismSpec::PAPER_SET.iter().chain([&MechanismSpec::Min]) {
+        for spec in MechanismSpec::PAPER_SET
+            .iter()
+            .chain([&MechanismSpec::Min, &MechanismSpec::InTransitLru])
+        {
             let topo = Topology::new(params, Arrangement::Palmtree);
             let cfg =
                 EngineConfig::paper(ArbiterPolicy::RoundRobin, spec.required_local_vcs());

@@ -195,8 +195,8 @@ fn validate_accepts_disjoint_and_rejects_overlapping_lifetimes() {
 fn bundled_sweep_parses_and_expands() {
     let spec = SweepSpec::load(&scenario_path("sweep_unfairness_grid.json")).unwrap();
     let cells = spec.expand().unwrap();
-    // 3 loads × 2 placements × 2 patterns × 2 mechanisms.
-    assert_eq!(cells.len(), 24);
+    // 3 loads × 2 placements × 2 patterns × 3 mechanisms.
+    assert_eq!(cells.len(), 36);
     for cell in &cells {
         assert_eq!(cell.scenario.mechanisms.len(), 1);
         cell.scenario.validate(1).unwrap_or_else(|e| panic!("cell {}: {e}", cell.index));

@@ -1,0 +1,77 @@
+//! Golden-output digests: the `scenario --quick` / `sweep --quick`
+//! protocols for every bundled scenario file, digested with the same MD5
+//! that ci.sh applies to the CLI artifacts. Any change to simulation
+//! behavior — event ordering, RNG consumption, float accumulation — shows
+//! up here as a digest mismatch, so behavior-preservation is enforced by
+//! `cargo test -q` and not only by the shell script.
+//!
+//! The digests cover the *serialized results* (the summary JSON a
+//! `scenario` run prints after its tables, and the sweep table's CSV and
+//! JSON artifacts), not the human-readable tables. Re-record a digest
+//! only for an intentional behavior change, and say so in the commit
+//! message (see `docs/DETERMINISM.md`).
+
+use dragonfly_core::prelude::*;
+use integration_tests::md5_hex;
+
+fn scenarios_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios")
+}
+
+/// Replicate the `scenario --quick` protocol: single seed, warm-up capped
+/// at 2000 cycles, measurement at 4000. Digest of the seed-averaged
+/// summary JSON (what the CLI prints to stdout for tooling).
+fn scenario_quick_digest(file: &str) -> String {
+    let path = scenarios_dir().join(file);
+    let mut spec = ScenarioSpec::load(path.to_str().unwrap()).expect("load scenario");
+    spec.warmup_cycles = spec.warmup_cycles.min(2_000);
+    spec.measure_cycles = spec.measure_cycles.min(4_000);
+    let result = run_scenario(&spec, &[DEFAULT_SEEDS[0]]).expect("run scenario");
+    let json = serde_json::to_string_pretty(&result.summary()).expect("serialize summary");
+    md5_hex(json.as_bytes())
+}
+
+/// Replicate the `sweep --quick` protocol: single seed, warm-up capped at
+/// 1000 cycles, measurement at 2000. Returns digests of the CSV and JSON
+/// artifacts (the pair ci.sh double-runs and byte-compares).
+fn sweep_quick_digests(file: &str) -> (String, String) {
+    let path = scenarios_dir().join(file);
+    let mut spec = SweepSpec::load(path.to_str().unwrap()).expect("load sweep");
+    spec.base.warmup_cycles = spec.base.warmup_cycles.min(1_000);
+    spec.base.measure_cycles = spec.base.measure_cycles.min(2_000);
+    let table = run_sweep(&spec, &[DEFAULT_SEEDS[0]]).expect("run sweep");
+    let csv = md5_hex(table.to_csv().as_bytes());
+    let json_text = serde_json::to_string_pretty(&table).expect("serialize table");
+    (csv, md5_hex(json_text.as_bytes()))
+}
+
+#[test]
+fn golden_interference_advc_vs_uniform() {
+    assert_eq!(
+        scenario_quick_digest("interference_advc_vs_uniform.json"),
+        "0e6ffb3aa0cf2e890cbe948633eedefa",
+        "behavior drift in the interference scenario (see docs/DETERMINISM.md)"
+    );
+}
+
+#[test]
+fn golden_paper_job_anatomy() {
+    assert_eq!(
+        scenario_quick_digest("paper_job_anatomy.json"),
+        "bf12a27f9d94ef4ce3cfdb41aed39283",
+        "behavior drift in the job-anatomy scenario (see docs/DETERMINISM.md)"
+    );
+}
+
+#[test]
+fn golden_sweep_unfairness_grid() {
+    let (csv, json) = sweep_quick_digests("sweep_unfairness_grid.json");
+    assert_eq!(
+        csv, "df045dadf249fc449c1ccc7b3ce548f8",
+        "behavior drift in the sweep grid CSV (see docs/DETERMINISM.md)"
+    );
+    assert_eq!(
+        json, "d7d9743204a4108a0e46c87d28c444a3",
+        "behavior drift in the sweep grid JSON (see docs/DETERMINISM.md)"
+    );
+}
