@@ -32,9 +32,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> doc tests (df-workload schema examples et al.)"
 cargo test -q --doc
 
-echo "==> scenario smoke run (reduced cycles)"
+echo "==> scenario smoke run (reduced cycles) + timeline stream validation"
+# The smoke run doubles as the windowed-telemetry gate: every mechanism
+# streams one JSONL row per closed window, and timeline_check verifies
+# each line parses and the window cycle ranges are contiguous per run.
 cargo run --release -p df-bench --bin scenario -- --quick \
+    --timeline bench-results/timeline_interference.jsonl \
     scenarios/interference_advc_vs_uniform.json > /dev/null
+cargo run --release -p df-bench --bin timeline_check -- \
+    bench-results/timeline_interference.jsonl
 
 echo "==> sweep smoke run + determinism gate (bundled grid, twice, bit-compare)"
 # The long-format table must be bit-identical across same-seed runs
@@ -81,9 +87,15 @@ done
 for i in 1 2 3 4 5 6 7 8; do
     BENCH_JSON_DIR="$fresh_dir/run$i" cargo bench -p df-bench --bench allocator
 done
+# Each gate run also appends the merged medians to the per-commit perf
+# history (bench-results/history.jsonl, archived by the workflow) and
+# checks the last 5 entries of each id for sustained same-direction
+# drift — the slow leak where every step stays under the 10% threshold
+# but the sum does not.
 # shellcheck disable=SC2086 # BENCH_TREND_FLAGS is intentionally word-split
 cargo run --release -p df-bench --bin bench_trend -- \
     ${BENCH_TREND_FLAGS:-} --baseline bench-results --promote bench-results \
+    --history bench-results/history.jsonl --drift 5 \
     "$fresh_dir"/run1 "$fresh_dir"/run2 "$fresh_dir"/run3 "$fresh_dir"/run4 \
     "$fresh_dir"/run5 "$fresh_dir"/run6 "$fresh_dir"/run7 "$fresh_dir"/run8
 

@@ -28,11 +28,22 @@
 //!   the merged `BENCH_<name>.json` files into `DIR`, making them the
 //!   baseline for the next invocation.
 //!
+//! * `--history FILE` — append one JSON line per merged id to `FILE`
+//!   (commit, bench, id, merged median, run count, samples), building a
+//!   per-commit perf history that survives baseline promotion,
+//! * `--drift K` — after appending, scan the last `K` history entries of
+//!   each id for sustained same-direction drift: every step upward and
+//!   the cumulative change beyond the threshold. Catches the slow leak
+//!   that per-commit gating misses because each step stays under the
+//!   threshold. Gates like a regression unless `--allow-regress`.
+//!
 //! Ids without a baseline (new benchmarks, or a first run) are reported
 //! as `new` and never gate. Exit status is 1 iff any id regressed by
-//! more than the threshold and `--allow-regress` was not given.
+//! more than the threshold (or drifted, with `--drift`) and
+//! `--allow-regress` was not given.
 
 use serde::{Deserialize, Serialize};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -45,6 +56,22 @@ struct BenchRecord {
     max_ns: f64,
     samples: u64,
     batch: u64,
+    /// How many recorded runs the medians were merged over. `None` in
+    /// raw criterion summaries and pre-existing baselines (backward
+    /// compatible); set by the merge step.
+    runs: Option<u64>,
+}
+
+/// One line of the `--history` JSONL file: a merged median pinned to the
+/// commit it was measured at.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HistoryLine {
+    commit: String,
+    bench: String,
+    id: String,
+    median_ns: f64,
+    runs: u64,
+    samples: u64,
 }
 
 /// A whole `BENCH_<name>.json` file.
@@ -62,13 +89,15 @@ struct Args {
     threshold_pct: f64,
     noise_floor_ns: f64,
     allow_regress: bool,
+    history: Option<PathBuf>,
+    drift: Option<usize>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bench_trend [--threshold PCT] [--noise-floor-ns NS] [--allow-regress] \
-         [--baseline DIR] [--promote DIR] FRESH_DIR..."
+         [--baseline DIR] [--promote DIR] [--history FILE] [--drift K] FRESH_DIR..."
     );
     std::process::exit(2);
 }
@@ -80,6 +109,8 @@ fn parse_args() -> Args {
     let mut threshold_pct = 10.0;
     let mut noise_floor_ns = 1_000.0;
     let mut allow_regress = false;
+    let mut history = None;
+    let mut drift = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -107,6 +138,19 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--promote needs a dir")),
                 ));
             }
+            "--history" => {
+                history = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--history needs a file")),
+                ));
+            }
+            "--drift" => {
+                drift = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&k: &usize| k >= 2)
+                        .unwrap_or_else(|| die("--drift needs a window of at least 2")),
+                );
+            }
             other if !other.starts_with('-') => fresh.push(PathBuf::from(other)),
             other => die(&format!("unknown flag {other}")),
         }
@@ -114,7 +158,10 @@ fn parse_args() -> Args {
     if fresh.is_empty() {
         die("expected at least one FRESH_DIR");
     }
-    Args { fresh, baseline, promote, threshold_pct, noise_floor_ns, allow_regress }
+    if drift.is_some() && history.is_none() {
+        die("--drift needs --history (the drift window is read from the history file)");
+    }
+    Args { fresh, baseline, promote, threshold_pct, noise_floor_ns, allow_regress, history, drift }
 }
 
 /// Load every `BENCH_*.json` in `dir`, sorted by file name for stable
@@ -181,6 +228,7 @@ fn merge_runs(runs: Vec<BenchFile>) -> BenchFile {
                 max_ns: recs.iter().map(|r| r.max_ns).fold(0.0, f64::max),
                 samples: recs.iter().map(|r| r.samples).sum(),
                 batch: recs[0].batch,
+                runs: Some(recs.len() as u64),
             }
         })
         .collect();
@@ -201,6 +249,107 @@ fn fmt_ns(ns: f64) -> String {
     } else {
         format!("{ns:.1} ns")
     }
+}
+
+/// The commit the history line is pinned to; `unknown` outside a git
+/// checkout (e.g. an exported source tarball).
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Append one history line per merged id. The file is JSONL so CI can
+/// archive and re-append across commits without a read-modify-write.
+fn append_history(path: &Path, merged: &[BenchFile]) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+        }
+    }
+    let commit = current_commit();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| die(&format!("cannot open history {}: {e}", path.display())));
+    let mut lines = 0u64;
+    for bf in merged {
+        for rec in &bf.results {
+            let line = HistoryLine {
+                commit: commit.clone(),
+                bench: bf.bench.clone(),
+                id: rec.id.clone(),
+                median_ns: rec.median_ns,
+                runs: rec.runs.unwrap_or(1),
+                samples: rec.samples,
+            };
+            let text = serde_json::to_string(&line).expect("history line serializes");
+            writeln!(file, "{text}")
+                .unwrap_or_else(|e| die(&format!("cannot append history: {e}")));
+            lines += 1;
+        }
+    }
+    println!("bench_trend: appended {lines} history line(s) at {commit} to {}", path.display());
+}
+
+/// Scan the last `k` history entries of every id for sustained
+/// same-direction upward drift: every commit-to-commit step non-negative,
+/// at least one strictly positive, cumulative change beyond
+/// `threshold_pct`, and the whole window above the noise floor. Returns
+/// one description per drifting id.
+fn check_drift(path: &Path, k: usize, threshold_pct: f64, noise_floor_ns: f64) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read history {}: {e}", path.display())));
+    // (bench, id) -> (commit, median) points in append order (== commit
+    // order).
+    type Series = Vec<((String, String), Vec<(String, f64)>)>;
+    let mut series: Series = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line: HistoryLine = serde_json::from_str(raw).unwrap_or_else(|e| {
+            die(&format!("history {}:{}: unparsable line: {e}", path.display(), i + 1))
+        });
+        let key = (line.bench, line.id);
+        match series.iter_mut().find(|(k2, _)| *k2 == key) {
+            Some((_, points)) => points.push((line.commit, line.median_ns)),
+            None => series.push((key, vec![(line.commit, line.median_ns)])),
+        }
+    }
+    let mut drifts = Vec::new();
+    for ((_, id), points) in &series {
+        if points.len() < k {
+            continue;
+        }
+        let window = &points[points.len() - k..];
+        let first = window[0].1;
+        let last = window[k - 1].1;
+        if first < noise_floor_ns || last < noise_floor_ns {
+            continue;
+        }
+        let monotone = window.windows(2).all(|p| p[1].1 >= p[0].1) && last > first;
+        let cum_pct = (last - first) / first * 100.0;
+        if monotone && cum_pct > threshold_pct {
+            drifts.push(format!(
+                "{id}: {} -> {} ({:+.1}% over {k} commits, {} .. {})",
+                fmt_ns(first),
+                fmt_ns(last),
+                cum_pct,
+                window[0].0,
+                window[k - 1].0,
+            ));
+        }
+    }
+    drifts
 }
 
 fn main() -> ExitCode {
@@ -232,22 +381,25 @@ fn main() -> ExitCode {
     let baseline = load_dir(&args.baseline);
 
     let mut regressions: Vec<String> = Vec::new();
+    let mut low_runs: Vec<String> = Vec::new();
     println!(
-        "{:<45} {:>12} {:>12} {:>9}  status",
-        "benchmark", "old median", "new median", "delta"
+        "{:<45} {:>12} {:>12} {:>9} {:>5}  status",
+        "benchmark", "old median", "new median", "delta", "runs"
     );
     for file in &merged {
         let old = baseline.iter().find(|b| b.bench == file.bench);
         for rec in &file.results {
+            let runs = rec.runs.unwrap_or(1);
             let old_rec = old.and_then(|b| b.results.iter().find(|r| r.id == rec.id));
             match old_rec {
                 None => {
                     println!(
-                        "{:<45} {:>12} {:>12} {:>9}  new",
+                        "{:<45} {:>12} {:>12} {:>9} {:>5}  new",
                         rec.id,
                         "-",
                         fmt_ns(rec.median_ns),
-                        "-"
+                        "-",
+                        runs,
                     );
                 }
                 Some(prev) => {
@@ -268,12 +420,19 @@ fn main() -> ExitCode {
                         "ok"
                     };
                     println!(
-                        "{:<45} {:>12} {:>12} {:>+8.1}%  {status}",
+                        "{:<45} {:>12} {:>12} {:>+8.1}% {:>5}  {status}",
                         rec.id,
                         fmt_ns(prev.median_ns),
                         fmt_ns(rec.median_ns),
-                        delta_pct
+                        delta_pct,
+                        runs,
                     );
+                    // A gating id merged from fewer than 4 runs rides on
+                    // a noisy median — flag it so ci.sh grows the run
+                    // count rather than the threshold.
+                    if !sub_floor && runs < 4 {
+                        low_runs.push(format!("{} ({} run(s))", rec.id, runs));
+                    }
                     if regressed {
                         regressions.push(format!(
                             "{}: {} -> {} ({:+.1}%, spread {}..{})",
@@ -290,12 +449,30 @@ fn main() -> ExitCode {
         }
     }
 
+    if !low_runs.is_empty() {
+        eprintln!(
+            "bench_trend: warning: gating id(s) merged from fewer than 4 runs: {}",
+            low_runs.join(", ")
+        );
+    }
+
+    if let Some(path) = &args.history {
+        append_history(path, &merged);
+        if let Some(k) = args.drift {
+            let drifts = check_drift(path, k, args.threshold_pct, args.noise_floor_ns);
+            for d in &drifts {
+                eprintln!("bench_trend: DRIFT {d}");
+            }
+            regressions.extend(drifts);
+        }
+    }
+
     let pass = regressions.is_empty();
     if pass {
         println!("\nbench_trend: no regression beyond {:.0}%", args.threshold_pct);
     } else {
         eprintln!(
-            "\nbench_trend: {} benchmark(s) regressed beyond {:.0}%:",
+            "\nbench_trend: {} benchmark(s) regressed or drifted beyond {:.0}%:",
             regressions.len(),
             args.threshold_pct
         );

@@ -13,13 +13,16 @@
 //! * `--quick` — single seed and a reduced cycle budget (CI smoke),
 //! * `--out PATH` — write the full result (including per-seed runs) as JSON,
 //! * `--record-trace PATH` — additionally record the generation stream of
-//!   the first mechanism × first seed as a replayable JSON trace.
+//!   the first mechanism × first seed as a replayable JSON trace,
+//! * `--timeline PATH` — additionally run every mechanism × the first
+//!   seed with windowed telemetry on, streaming one JSONL row per window
+//!   into `PATH` as it closes (see `docs/OBSERVABILITY.md`).
 //!
 //! The seed-averaged summary is always printed to stdout as JSON (after
 //! the human-readable tables), so downstream tooling can consume the run
 //! without extra flags.
 
-use df_bench::write_json;
+use df_bench::{create_timeline_file, timeline_sink, write_json};
 use dragonfly_core::prelude::*;
 use std::path::PathBuf;
 
@@ -29,12 +32,14 @@ struct Args {
     quick: bool,
     out: Option<PathBuf>,
     record_trace: Option<String>,
+    timeline: Option<PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: scenario [--seeds N] [--quick] [--out PATH] [--record-trace PATH] SCENARIO.json"
+        "usage: scenario [--seeds N] [--quick] [--out PATH] [--record-trace PATH] \
+         [--timeline PATH] SCENARIO.json"
     );
     std::process::exit(2);
 }
@@ -46,6 +51,7 @@ fn parse_args() -> Args {
         quick: false,
         out: None,
         record_trace: None,
+        timeline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +73,11 @@ fn parse_args() -> Args {
             "--record-trace" => {
                 args.record_trace =
                     Some(it.next().unwrap_or_else(|| die("--record-trace needs a path")));
+            }
+            "--timeline" => {
+                args.timeline = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--timeline needs a path")),
+                ));
             }
             other if !other.starts_with('-') && args.scenario.is_empty() => {
                 args.scenario = other.to_string();
@@ -134,6 +145,32 @@ fn main() {
                 recorder.events().len(),
                 spec.jobs[j].name,
                 spec.mechanisms[0].label(),
+            );
+        }
+    }
+
+    if let Some(path) = &args.timeline {
+        // Windowed-telemetry pass: every mechanism under the first seed,
+        // sequentially, appending to one JSONL stream. Separate from the
+        // aggregate runs below so the summary stays untouched by
+        // instrumentation (it is bit-identical anyway, but the timeline
+        // pass costs extra wall-clock only when requested).
+        let file = create_timeline_file(path);
+        for &mechanism in &spec.mechanisms {
+            let sink = timeline_sink(
+                file.try_clone().expect("clone timeline handle"),
+                spec.name.clone(),
+                mechanism.label().to_string(),
+                args.seeds[0],
+            );
+            let run = run_scenario_timeline(&spec, mechanism, args.seeds[0], sink)
+                .unwrap_or_else(|e| die(&e));
+            eprintln!(
+                "timeline: {} windows of `{}` under {} appended to {}",
+                run.timeline.as_ref().map_or(0, Vec::len),
+                spec.name,
+                mechanism.label(),
+                path.display()
             );
         }
     }

@@ -13,14 +13,17 @@
 //! * `--seeds N` — seeds per cell (default 3),
 //! * `--quick` — single seed and a reduced cycle budget (CI smoke),
 //! * `--out PATH` — write the table as JSON,
-//! * `--csv PATH` — write the table as CSV.
+//! * `--csv PATH` — write the table as CSV,
+//! * `--timeline PATH` — additionally re-run the first cell under the
+//!   first seed with windowed telemetry on, streaming one JSONL row per
+//!   window into `PATH` (see `docs/OBSERVABILITY.md`).
 //!
 //! The table is deterministic: the same sweep file and seed set produce a
 //! bit-identical JSON/CSV artifact regardless of how cells were scheduled
 //! across threads (CI runs the bundled grid twice and compares md5s).
 //! A compact per-cell summary grid is printed to stdout.
 
-use df_bench::write_json;
+use df_bench::{create_timeline_file, timeline_sink, write_json};
 use dragonfly_core::prelude::*;
 use std::path::PathBuf;
 
@@ -30,17 +33,27 @@ struct Args {
     quick: bool,
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
+    timeline: Option<PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: sweep [--seeds N] [--quick] [--out PATH] [--csv PATH] SWEEP.json");
+    eprintln!(
+        "usage: sweep [--seeds N] [--quick] [--out PATH] [--csv PATH] [--timeline PATH] \
+         SWEEP.json"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { sweep: String::new(), seeds: Vec::new(), quick: false, out: None, csv: None };
+    let mut args = Args {
+        sweep: String::new(),
+        seeds: Vec::new(),
+        quick: false,
+        out: None,
+        csv: None,
+        timeline: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -60,6 +73,11 @@ fn parse_args() -> Args {
             "--csv" => {
                 args.csv =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| die("--csv needs a path"))));
+            }
+            "--timeline" => {
+                args.timeline = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--timeline needs a path")),
+                ));
             }
             other if !other.starts_with('-') && args.sweep.is_empty() => {
                 args.sweep = other.to_string();
@@ -94,6 +112,29 @@ fn main() {
         spec.base.warmup_cycles,
         spec.base.measure_cycles,
     );
+
+    if let Some(path) = &args.timeline {
+        // Windowed-telemetry pass on the first cell × first seed: the
+        // sweep table itself stays telemetry-free (its artifacts are
+        // digest-gated), the timeline is a side stream.
+        let cell = &cells[0];
+        let file = create_timeline_file(path);
+        let sink = timeline_sink(
+            file,
+            format!("{}:cell{}", spec.name, cell.index),
+            cell.mechanism.label().to_string(),
+            args.seeds[0],
+        );
+        let run = run_scenario_timeline(&cell.scenario, cell.mechanism, args.seeds[0], sink)
+            .unwrap_or_else(|e| die(&e));
+        eprintln!(
+            "timeline: {} windows of cell {} under {} written to {}",
+            run.timeline.as_ref().map_or(0, Vec::len),
+            cell.index,
+            cell.mechanism.label(),
+            path.display()
+        );
+    }
 
     let table = run_sweep(&spec, &args.seeds).unwrap_or_else(|e| die(&e));
 

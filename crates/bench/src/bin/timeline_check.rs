@@ -1,0 +1,72 @@
+//! CI validator for `--timeline` JSONL streams: every line must parse as
+//! a [`TimelineLine`] and, within each (scenario, mechanism, seed) run,
+//! the windows must form a gap-free, zero-based sequence of non-empty
+//! cycle ranges.
+//!
+//! ```text
+//! timeline_check out.jsonl [more.jsonl ...]
+//! ```
+//!
+//! Exits 1 on the first malformed line or broken window chain, 0 when
+//! every stream checks out (printing a per-run window count).
+
+use df_bench::TimelineLine;
+use std::collections::BTreeMap;
+
+fn die(msg: &str) -> ! {
+    eprintln!("timeline_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: timeline_check FILE.jsonl [FILE.jsonl ...]");
+        std::process::exit(2);
+    }
+    // run key -> (next expected window index, next expected start cycle, rows seen)
+    let mut runs: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    let mut lines = 0u64;
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let line: TimelineLine = serde_json::from_str(raw)
+                .unwrap_or_else(|e| die(&format!("{path}:{lineno}: not a timeline row: {e}")));
+            lines += 1;
+            let w = &line.window;
+            if w.end_cycle <= w.start_cycle {
+                die(&format!(
+                    "{path}:{lineno}: empty window [{}, {})",
+                    w.start_cycle, w.end_cycle
+                ));
+            }
+            let key = format!("{} / {} / seed {}", line.scenario, line.mechanism, line.seed);
+            let entry = runs.entry(key.clone()).or_insert((0, w.start_cycle, 0));
+            if w.window != entry.0 {
+                die(&format!(
+                    "{path}:{lineno}: {key}: window index {} (expected {})",
+                    w.window, entry.0
+                ));
+            }
+            if w.start_cycle != entry.1 {
+                die(&format!(
+                    "{path}:{lineno}: {key}: window {} starts at {} but previous ended at {}",
+                    w.window, w.start_cycle, entry.1
+                ));
+            }
+            *entry = (w.window + 1, w.end_cycle, entry.2 + 1);
+        }
+    }
+    if lines == 0 {
+        die("no timeline rows found");
+    }
+    for (key, (_, _, rows)) in &runs {
+        println!("ok: {key}: {rows} contiguous windows");
+    }
+    println!("{} rows across {} runs: all contiguous", lines, runs.len());
+}

@@ -12,7 +12,8 @@
 //! * `--out PATH` — also dump the raw results as JSON.
 
 use dragonfly_core::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
 use std::path::PathBuf;
 
 /// Parsed common flags.
@@ -124,6 +125,52 @@ impl CommonArgs {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// One line of a `--timeline out.jsonl` stream: the run coordinates plus
+/// one closed telemetry window. The vendored serde has no
+/// `#[serde(flatten)]`, so the window row nests under `window` — see
+/// `docs/OBSERVABILITY.md` for the full schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineLine {
+    /// Scenario name.
+    pub scenario: String,
+    /// Mechanism label of the run.
+    pub mechanism: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// The closed window.
+    pub window: WindowRow,
+}
+
+/// A streaming sink for [`dragonfly_core::run_scenario_timeline`]: each
+/// closed window is appended to `file` as one compact JSON line (and
+/// flushed, so a consumer tailing the file sees rows as they close).
+pub fn timeline_sink(
+    mut file: std::fs::File,
+    scenario: String,
+    mechanism: String,
+    seed: u64,
+) -> TimelineSink {
+    Box::new(move |row| {
+        let line = TimelineLine {
+            scenario: scenario.clone(),
+            mechanism: mechanism.clone(),
+            seed,
+            window: row.clone(),
+        };
+        let text = serde_json::to_string(&line).expect("serialize timeline line");
+        writeln!(file, "{text}").expect("write timeline line");
+        file.flush().expect("flush timeline line");
+    })
+}
+
+/// Create (truncate) a `--timeline` JSONL output file.
+pub fn create_timeline_file(path: &PathBuf) -> std::fs::File {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create timeline dir");
+    }
+    std::fs::File::create(path).expect("create timeline file")
 }
 
 /// Write any serializable value as pretty JSON.

@@ -1,6 +1,6 @@
 //! Top-level simulation configuration.
 
-use df_engine::{ArbiterPolicy, EngineConfig};
+use df_engine::{ArbiterPolicy, EngineConfig, TelemetrySpec};
 use df_routing::MechanismSpec;
 use df_topology::{Arrangement, DragonflyParams};
 use df_traffic::PatternSpec;
@@ -29,6 +29,10 @@ pub struct SimConfig {
     /// Master seed; traffic, injection, and routing RNGs are derived
     /// deterministically from it.
     pub seed: u64,
+    /// Opt-in windowed telemetry (see [`TelemetrySpec`]). `None` — the
+    /// default, and what an omitted JSON field deserializes to — keeps
+    /// the run instrumentation-free.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl SimConfig {
@@ -50,6 +54,7 @@ impl SimConfig {
             warmup_cycles: 10_000,
             measure_cycles: 15_000,
             seed: 1,
+            telemetry: None,
         }
     }
 
@@ -71,13 +76,18 @@ impl SimConfig {
             warmup_cycles: 8_000,
             measure_cycles: 15_000,
             seed: 1,
+            telemetry: None,
         }
     }
 
     /// The engine configuration implied by mechanism and arbiter: Table I
-    /// parameters with the mechanism's required local-VC count.
+    /// parameters with the mechanism's required local-VC count (and this
+    /// config's telemetry settings, if any).
     pub fn engine_config(&self) -> EngineConfig {
-        EngineConfig::paper(self.arbiter, self.mechanism.required_local_vcs())
+        EngineConfig {
+            telemetry: self.telemetry,
+            ..EngineConfig::paper(self.arbiter, self.mechanism.required_local_vcs())
+        }
     }
 
     /// With a different master seed (multi-run averaging).

@@ -42,18 +42,20 @@ mod scenario;
 mod sim;
 mod sink;
 mod sweep;
+mod timeline;
 
 pub use config::SimConfig;
 pub use experiment::{
     run_averaged, standard_load_grid, sweep_loads, AveragedResult, DEFAULT_SEEDS,
 };
 pub use scenario::{
-    run_scenario, run_scenario_once, JobSummary, MechanismScenarioResult, MechanismSummary,
-    ScenarioResult, ScenarioSummary,
+    run_scenario, run_scenario_once, run_scenario_timeline, JobSummary,
+    MechanismScenarioResult, MechanismSummary, ScenarioResult, ScenarioSummary,
 };
 pub use sim::{run_single, JobResult, JobSchedule, RunResult, Simulator};
 pub use sink::{JobAccumulator, MeasurementSink};
 pub use sweep::{run_sweep, SweepRow, SweepTable};
+pub use timeline::{JobWindow, TimelineSink, WindowRow};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
@@ -67,12 +69,12 @@ pub use df_workload;
 /// Everything needed for typical experiment scripts.
 pub mod prelude {
     pub use crate::{
-        run_averaged, run_scenario, run_scenario_once, run_single, run_sweep,
-        standard_load_grid, sweep_loads, AveragedResult, JobResult, JobSchedule,
-        MeasurementSink, RunResult, ScenarioResult, SimConfig, Simulator, SweepRow,
-        SweepTable, DEFAULT_SEEDS,
+        run_averaged, run_scenario, run_scenario_once, run_scenario_timeline, run_single,
+        run_sweep, standard_load_grid, sweep_loads, AveragedResult, JobResult, JobSchedule,
+        JobWindow, MeasurementSink, RunResult, ScenarioResult, SimConfig, Simulator,
+        SweepRow, SweepTable, TimelineSink, WindowRow, DEFAULT_SEEDS,
     };
-    pub use df_engine::{ArbiterPolicy, EngineConfig};
+    pub use df_engine::{ArbiterPolicy, EngineConfig, TelemetrySpec};
     pub use df_routing::MechanismSpec;
     pub use df_stats::{FairnessReport, Histogram, LatencyAccumulator, OnlineStats};
     pub use df_topology::{

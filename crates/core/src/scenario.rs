@@ -4,6 +4,8 @@
 
 use crate::config::{derive_seed, SimConfig};
 use crate::sim::{JobResult, JobSchedule, RunResult, Simulator};
+use crate::timeline::TimelineSink;
+use df_engine::TelemetrySpec;
 use df_routing::MechanismSpec;
 use df_traffic::{PatternSpec, Traffic};
 use df_workload::{
@@ -169,7 +171,36 @@ pub fn run_scenario_once(
     spec: &ScenarioSpec,
     mechanism: MechanismSpec,
     seed: u64,
+    recorders: Option<&mut [TraceRecorder]>,
+) -> Result<RunResult, String> {
+    drive_scenario(spec, mechanism, seed, recorders, spec.telemetry, None)
+}
+
+/// Run one scenario cell with windowed telemetry forced on, streaming
+/// each [`crate::WindowRow`] through `on_row` as its window closes (the
+/// `--timeline out.jsonl` surface). Uses the spec's [`TelemetrySpec`]
+/// when present, else the default (1000-cycle windows, full sampling).
+/// The returned [`RunResult`] also carries the full timeline.
+pub fn run_scenario_timeline(
+    spec: &ScenarioSpec,
+    mechanism: MechanismSpec,
+    seed: u64,
+    on_row: TimelineSink,
+) -> Result<RunResult, String> {
+    let telemetry = Some(spec.telemetry.unwrap_or_default());
+    drive_scenario(spec, mechanism, seed, None, telemetry, Some(on_row))
+}
+
+/// The shared scenario driver loop behind [`run_scenario_once`] and
+/// [`run_scenario_timeline`]: identical generation order regardless of
+/// instrumentation, so telemetry cannot perturb same-seed results.
+fn drive_scenario(
+    spec: &ScenarioSpec,
+    mechanism: MechanismSpec,
+    seed: u64,
     mut recorders: Option<&mut [TraceRecorder]>,
+    telemetry: Option<TelemetrySpec>,
+    timeline_sink: Option<TimelineSink>,
 ) -> Result<RunResult, String> {
     spec.validate(seed)?;
     if let Some(recs) = recorders.as_deref() {
@@ -186,9 +217,13 @@ pub fn run_scenario_once(
         warmup_cycles: spec.warmup_cycles,
         measure_cycles: spec.measure_cycles,
         seed,
+        telemetry,
     };
     let packet_size = cfg.engine_config().packet_size;
     let mut sim = Simulator::new(&cfg);
+    if let Some(sink) = timeline_sink {
+        sim.set_timeline_sink(sink);
+    }
 
     let placements = spec.resolve_placements(seed)?;
     let mut drivers = Vec::with_capacity(spec.jobs.len());
@@ -334,6 +369,7 @@ mod tests {
             arbiter: ArbiterPolicy::TransitPriority,
             warmup_cycles: 1_000,
             measure_cycles: 2_000,
+            telemetry: None,
             jobs: vec![
                 JobSpec {
                     name: "anatomy".into(),

@@ -237,6 +237,7 @@ mod tests {
                 arbiter: ArbiterPolicy::TransitPriority,
                 warmup_cycles: 300,
                 measure_cycles: 600,
+                telemetry: None,
                 jobs: vec![JobSpec {
                     name: "app".into(),
                     placement: PlacementSpec::ConsecutiveGroups {

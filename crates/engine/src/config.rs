@@ -19,6 +19,43 @@ pub enum ArbiterPolicy {
     AgeBased,
 }
 
+/// Opt-in windowed-telemetry settings.
+///
+/// Telemetry is read-only instrumentation: enabling it never changes
+/// what the simulation computes (same-seed summaries stay bit-identical,
+/// guarded by the golden-digest harness), it only snapshots the counters
+/// the hot path already maintains into per-window rows. `None` on
+/// [`EngineConfig::telemetry`] means zero cost: no recorder is
+/// allocated and the per-cycle hook is a single branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Width of one timeline window, in cycles.
+    pub window_cycles: u64,
+    /// Sample network-scope gauges (link utilization, escape grants,
+    /// probe-ready heads, port-epoch bumps) each window.
+    pub sample_network: bool,
+    /// Sample per-job rows (offered/injected/delivered, windowed
+    /// throughput and latency) each window.
+    pub sample_jobs: bool,
+}
+
+impl TelemetrySpec {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_cycles == 0 {
+            return Err("telemetry window_cycles must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TelemetrySpec {
+    /// 1000-cycle windows, sampling both network gauges and job rows.
+    fn default() -> Self {
+        TelemetrySpec { window_cycles: 1_000, sample_network: true, sample_jobs: true }
+    }
+}
+
 /// Micro-architecture and flow-control parameters.
 ///
 /// Defaults mirror the paper's Table I; [`EngineConfig::paper`] is the
@@ -58,6 +95,9 @@ pub struct EngineConfig {
     /// full queue is discarded (still counted as offered load), keeping
     /// memory bounded far beyond saturation.
     pub max_node_queue: usize,
+    /// Opt-in windowed telemetry; `None` (the default) disables it at
+    /// zero cost.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl EngineConfig {
@@ -81,6 +121,7 @@ impl EngineConfig {
             vcs_global: 2,
             arbiter,
             max_node_queue: 64,
+            telemetry: None,
         }
     }
 
@@ -111,6 +152,9 @@ impl EngineConfig {
         }
         if self.speedup == 0 {
             return Err("speedup must be at least 1".into());
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
         }
         Ok(())
     }
@@ -152,6 +196,15 @@ mod tests {
     fn zero_vcs_rejected() {
         let c = EngineConfig { vcs_global: 0, ..EngineConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_telemetry_window_rejected() {
+        let spec = TelemetrySpec { window_cycles: 0, ..TelemetrySpec::default() };
+        let c = EngineConfig { telemetry: Some(spec), ..EngineConfig::default() };
+        assert!(c.validate().is_err());
+        let c = EngineConfig { telemetry: Some(TelemetrySpec::default()), ..c };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

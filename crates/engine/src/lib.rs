@@ -31,7 +31,7 @@ mod router;
 
 pub use arena::{PacketArena, PacketCold, PacketId};
 pub use buffer::{OutputBuffer, Staged, VcBuffer};
-pub use config::{ArbiterPolicy, EngineConfig};
+pub use config::{ArbiterPolicy, EngineConfig, TelemetrySpec};
 pub use network::{Counters, Network, PhaseProfile};
 pub use packet::{
     Decision, DeliveredRecord, Packet, PacketHeader, PacketSeq, Phase, RouteDep, RouteInfo,

@@ -29,6 +29,7 @@ use crate::packet::Decision;
 use crate::policy::{CycleCtx, RoutingPolicy, StatsSink};
 use crate::router::RouterState;
 use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, Topology};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -60,7 +61,7 @@ fn get_bit(words: &[u64], i: usize) -> bool {
 /// Wall-clock time spent in each phase of [`Network::step_timed`],
 /// accumulated across cycles. Drives the `dbg_bottleneck` per-phase
 /// breakdown; the regular [`Network::step`] takes no timing overhead.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
 pub struct PhaseProfile {
     /// Event-wheel drain: link arrivals and credit returns.
     pub deliver_ns: u64,
@@ -137,6 +138,13 @@ pub struct Counters {
     /// node behind the injection port). Finer-grained fairness signal for
     /// per-job breakdowns where several jobs share a router.
     pub injected_per_node: Vec<u64>,
+    /// Escape-path grants: switch-allocation grants that first diverted a
+    /// packet onto a non-minimal (misrouted) global path. Windowed deltas
+    /// of this counter are the timeline's escape-grant rate.
+    pub escape_grants: u64,
+    /// Phits transmitted onto global (inter-group) links. Windowed deltas
+    /// over `groups × h` global-link capacity give link utilization.
+    pub global_phits: u64,
     /// Cycles elapsed since the last counter reset.
     pub cycles: u64,
 }
@@ -435,6 +443,26 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     /// Zero the measurement counters (start of the measurement window).
     pub fn reset_counters(&mut self) {
         self.counters = Counters::new(self.routers.len(), self.nodes.len());
+    }
+
+    /// Ready, unparked input-VC heads across all routers — the allocator
+    /// workload gauge. O(routers); intended for per-window telemetry
+    /// sampling, not the per-cycle hot path.
+    pub fn probe_ready_total(&self) -> u64 {
+        self.routers.iter().map(|r| r.probe_ready() as u64).sum()
+    }
+
+    /// Sum of every output port's epoch counter across all routers.
+    /// Windowed deltas of this sum count route-cache invalidation churn
+    /// (port-epoch bumps). O(routers × radix); telemetry sampling only.
+    pub fn port_epoch_sum(&self) -> u64 {
+        let radix = self.topo.params().radix() as usize;
+        self.routers
+            .iter()
+            .map(|r| {
+                (0..radix).map(|p| r.port_epoch(Port(p as u32)) as u64).sum::<u64>()
+            })
+            .sum()
     }
 
     /// Offer a packet for generation at `src` towards `dst`. Returns
@@ -1023,6 +1051,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         }
         let decision = self.arena.take_decision(id).expect("granted head has decision");
         debug_assert_eq!(decision.out_port.idx(), out_port);
+        let was_misrouted;
         {
             // One cold-slot touch per grant: wait accounting and the
             // committed route state.
@@ -1034,8 +1063,15 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 PortKind::Global => pkt.waits.global += wait,
             }
             pkt.traversal += self.cfg.pipeline_latency;
+            was_misrouted = pkt.route.global_misrouted;
             pkt.route = decision.info;
             pkt.out_enq_at = self.cycle;
+        }
+        // An escape-path grant is the false→true transition of the
+        // misrouting flag: this grant first diverted the packet onto a
+        // non-minimal global path.
+        if decision.info.global_misrouted && !was_misrouted {
+            self.counters.escape_grants += 1;
         }
 
         // Fairness counters: packets leaving an injection input. The input
@@ -1111,6 +1147,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             self.routers[r].outputs[out_port].link_free_at = self.cycle + size as u64;
             self.routers[r].release_output(out_port, size);
             if params.port_kind(Port(out_port as u32)) == PortKind::Global {
+                self.counters.global_phits += size as u64;
                 self.mark_global_dirty(r);
             }
             match self.peers[flat] {

@@ -8,7 +8,10 @@
 //! * [`LatencyAccumulator`] — the five-component latency breakdown of
 //!   Figure 3 (base, misrouting, local/global congestion, injection),
 //! * [`FairnessReport`] — Min inj, Max/Min, CoV (and Jain's index),
-//! * [`Histogram`] — latency distributions and quantiles.
+//! * [`Histogram`] — latency distributions and quantiles,
+//! * [`RateWindow`] / [`WindowSeries`] — exact sliding-window rate
+//!   counters (ring of buckets) and per-window row accumulation for the
+//!   timeline telemetry layer.
 //!
 //! The crate is deliberately engine-agnostic: it consumes plain numbers,
 //! so every metric is unit-testable without running a simulation.
@@ -19,8 +22,10 @@ mod fairness;
 mod histogram;
 mod latency;
 mod online;
+mod window;
 
 pub use fairness::FairnessReport;
 pub use histogram::Histogram;
 pub use latency::LatencyAccumulator;
 pub use online::OnlineStats;
+pub use window::{RateWindow, WindowSeries};

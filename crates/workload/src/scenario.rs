@@ -3,7 +3,7 @@
 
 use crate::job::JobSpec;
 use crate::placement::ResolvedPlacement;
-use df_engine::ArbiterPolicy;
+use df_engine::{ArbiterPolicy, TelemetrySpec};
 use df_routing::MechanismSpec;
 use df_topology::{Arrangement, DragonflyParams};
 use df_traffic::derive_seed;
@@ -20,8 +20,8 @@ use serde::{Deserialize, Serialize};
 /// # Examples
 ///
 /// Parse and validate a minimal one-job scenario from JSON (only
-/// `Option` fields — here the job's lifetime and placement slots — may
-/// be omitted):
+/// `Option` fields — here the telemetry spec, the job's lifetime, and
+/// placement slots — may be omitted):
 ///
 /// ```
 /// use df_workload::ScenarioSpec;
@@ -61,6 +61,10 @@ pub struct ScenarioSpec {
     pub warmup_cycles: u64,
     /// Measurement window in cycles.
     pub measure_cycles: u64,
+    /// Opt-in windowed telemetry (window width + what to sample). An
+    /// omitted JSON field deserializes to `None`: no timeline, no
+    /// instrumentation cost.
+    pub telemetry: Option<TelemetrySpec>,
     /// The jobs sharing the network. Node sets must be disjoint.
     pub jobs: Vec<JobSpec>,
 }
@@ -96,6 +100,9 @@ impl ScenarioSpec {
         }
         if self.measure_cycles == 0 {
             return Err("measurement window must be nonzero".into());
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
         }
         let placements = self.resolve_placements(seed)?;
         // Jobs may time-share nodes: a node claim is only a conflict when
@@ -172,6 +179,7 @@ mod tests {
             arbiter: ArbiterPolicy::TransitPriority,
             warmup_cycles: 1000,
             measure_cycles: 2000,
+            telemetry: None,
             jobs: vec![job("a", 0, 4), job("b", 4, 4)],
         }
     }

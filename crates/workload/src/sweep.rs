@@ -287,6 +287,7 @@ mod tests {
             arbiter: ArbiterPolicy::TransitPriority,
             warmup_cycles: 500,
             measure_cycles: 1000,
+            telemetry: None,
             jobs: vec![
                 JobSpec {
                     name: "app".into(),

@@ -25,6 +25,7 @@ fn job_scenario(params: DragonflyParams, placement: PlacementSpec, label: &str) 
         arbiter: ArbiterPolicy::TransitPriority,
         warmup_cycles: 6_000,
         measure_cycles: 12_000,
+        telemetry: None,
         jobs: vec![JobSpec {
             name: "app".into(),
             placement,

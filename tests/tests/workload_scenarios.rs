@@ -106,6 +106,7 @@ fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
             arbiter: ArbiterPolicy::TransitPriority,
             warmup_cycles: 100,
             measure_cycles: 200,
+            telemetry: None,
             jobs: jobs
                 .into_iter()
                 .enumerate()
@@ -155,6 +156,7 @@ fn fig1_scenario(injection: InjectionSpec, load: f64) -> ScenarioSpec {
         arbiter: ArbiterPolicy::TransitPriority,
         warmup_cycles: 500,
         measure_cycles: 1_500,
+        telemetry: None,
         jobs: vec![JobSpec {
             name: "app".into(),
             placement: PlacementSpec::ConsecutiveGroups { first: 0, count: 3, slots: None },
