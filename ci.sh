@@ -59,6 +59,50 @@ cargo run --release -p df-bench --bin sweep -- --quick \
 cmp bench-results/sweep_unfairness_grid.csv "$sweep_rerun/table.csv"
 cmp bench-results/sweep_unfairness_grid.json "$sweep_rerun/table.json"
 
+echo "==> service smoke (df-serve: cache replay + admission control + drain)"
+# Boot the job server with a deliberately tiny admission window, submit
+# the bundled interference scenario twice — the second submission must
+# be answered from the result cache, byte-identical to the first — then
+# provoke a rejected-overload with stall-fault jobs that pin the single
+# worker, and shut the server down gracefully. The event log is the
+# artifact CI archives (see docs/SERVICE.md).
+service_sock="$(mktemp -u /tmp/df-service-ci.XXXXXX.sock)"
+service_dir="$(mktemp -d)"
+trap 'rm -rf "${fresh_dir:-}" "${sweep_rerun:-}" "${service_dir:-}"; rm -f "${service_sock:-}"' EXIT
+cargo run --release -p df-bench --bin df-serve -- \
+    --socket "$service_sock" --workers 1 --queue-depth 1 \
+    --event-log bench-results/service_events.jsonl &
+service_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$service_sock" ] && break
+    sleep 0.1
+done
+[ -S "$service_sock" ] || { echo "df-serve never bound its socket" >&2; exit 1; }
+submit() { cargo run --release -p df-bench --bin df-submit -- --socket "$service_sock" "$@"; }
+submit --quick --out "$service_dir/first.json" \
+    scenarios/interference_advc_vs_uniform.json
+submit --quick --out "$service_dir/second.json" \
+    scenarios/interference_advc_vs_uniform.json 2> "$service_dir/second.log"
+grep -q cached "$service_dir/second.log"
+cmp "$service_dir/first.json" "$service_dir/second.json"
+# Over-quota burst: two stalling jobs fill the worker and the one queue
+# slot, then a third waiting submission must be rejected with exit
+# code 3. The seed lists differ from the cached run above (the cache
+# key pins the seeds), so none of these is answered from the cache.
+submit --quick --seeds 2 --no-wait \
+    --fault '{"stall_at_cycle": 10, "stall_ms": 3000}' \
+    scenarios/paper_job_anatomy.json
+sleep 0.5  # let the worker claim the first stall job before queueing the next
+submit --quick --seeds 2 --no-wait \
+    --fault '{"stall_at_cycle": 10, "stall_ms": 3000}' \
+    scenarios/interference_advc_vs_uniform.json
+sleep 0.5
+rc=0
+submit --quick --seeds 4 scenarios/interference_advc_vs_uniform.json || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected rejected-overload exit 3, got $rc" >&2; exit 1; }
+submit --shutdown
+wait "$service_pid"
+
 echo "==> criterion benches in --test mode (each body runs once)"
 cargo bench -p df-bench -- --test
 

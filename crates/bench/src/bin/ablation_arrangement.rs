@@ -8,7 +8,7 @@
 //! cargo run --release -p df-bench --bin ablation_arrangement
 //! ```
 
-use df_bench::{write_json, CommonArgs};
+use df_bench::{fail, write_json, CommonArgs};
 use dragonfly_core::prelude::*;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -84,6 +84,6 @@ fn main() {
     }
 
     if let Some(out) = &args.out {
-        write_json(out, &rows);
+        write_json(out, &rows).unwrap_or_else(|e| fail(&e));
     }
 }

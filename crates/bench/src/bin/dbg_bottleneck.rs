@@ -15,7 +15,7 @@
 //! * `--json PATH` — archive the per-chunk phase breakdowns and the run
 //!   total as JSON next to the bench artifacts.
 
-use df_bench::write_json;
+use df_bench::{fail, write_json};
 use dragonfly_core::df_engine::{PhaseProfile, RouterState, TelemetrySpec};
 use dragonfly_core::df_stats::RateWindow;
 use dragonfly_core::prelude::*;
@@ -185,6 +185,6 @@ fn main() {
             chunks,
             total,
         };
-        write_json(path, &report);
+        write_json(path, &report).unwrap_or_else(|e| fail(&e));
     }
 }

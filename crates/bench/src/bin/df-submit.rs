@@ -1,0 +1,289 @@
+//! Client for the scenario job service: submit a scenario or sweep to a
+//! running `df-serve`, stream its structured events to stderr, and map
+//! the job's terminal event onto the exit code.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin df-submit -- --socket /tmp/df.sock \
+//!     --quick --out /tmp/result.json scenarios/interference_advc_vs_uniform.json
+//! cargo run --release -p df-bench --bin df-submit -- --socket /tmp/df.sock --shutdown
+//! ```
+//!
+//! Flags:
+//!
+//! * `--socket PATH` — the server's socket (default `df-service.sock`),
+//! * `--sweep` — the spec file is a [`SweepSpec`] grid, not a scenario,
+//! * `--seeds N` — seeds to run (default: the paper's three-seed protocol),
+//! * `--quick` — single seed and a reduced cycle budget (CI smoke),
+//! * `--deadline-ms MS` — per-attempt wall-clock deadline,
+//! * `--fault JSON` — a [`df_service::FaultSpec`] object (tests/CI only),
+//! * `--out PATH` — write the result document (completed or cached) here
+//!   instead of stdout,
+//! * `--no-wait` — submit and exit 0 without waiting for a terminal event,
+//! * `--ping` / `--shutdown` / `--cancel JOB` — control requests.
+//!
+//! Exit codes: 0 completed/cached · 3 rejected-overload · 4 timed-out ·
+//! 5 cancelled · 6 failed/rejected · 2 usage or protocol error ·
+//! 1 I/O failure.
+
+use df_bench::fail;
+use df_service::{FaultSpec, JobEvent, Request, SubmitOptions};
+use df_workload::{ScenarioSpec, SweepSpec};
+use dragonfly_core::DEFAULT_SEEDS;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+enum Action {
+    Submit { spec_file: String, sweep: bool },
+    Ping,
+    Shutdown,
+    Cancel(u64),
+}
+
+struct Args {
+    socket: PathBuf,
+    action: Action,
+    seeds: Option<Vec<u64>>,
+    quick: bool,
+    deadline_ms: Option<u64>,
+    fault: Option<FaultSpec>,
+    out: Option<PathBuf>,
+    no_wait: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: df-submit [--socket PATH] [--sweep] [--seeds N] [--quick] \
+         [--deadline-ms MS] [--fault JSON] [--out PATH] [--no-wait] SPEC.json\n\
+         \x20      df-submit [--socket PATH] --ping | --shutdown | --cancel JOB"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        socket: PathBuf::from("df-service.sock"),
+        action: Action::Submit { spec_file: String::new(), sweep: false },
+        seeds: None,
+        quick: false,
+        deadline_ms: None,
+        fault: None,
+        out: None,
+        no_wait: false,
+    };
+    let mut sweep = false;
+    let mut spec_file = String::new();
+    let mut control: Option<Action> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => {
+                args.socket =
+                    PathBuf::from(it.next().unwrap_or_else(|| die("--socket needs a path")));
+            }
+            "--sweep" => sweep = true,
+            "--quick" => args.quick = true,
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--seeds needs a positive number"));
+                args.seeds = Some((0..n).map(|i| DEFAULT_SEEDS[0] + i * 31).collect());
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--deadline-ms needs a number")),
+                );
+            }
+            "--fault" => {
+                let json = it.next().unwrap_or_else(|| die("--fault needs a JSON object"));
+                args.fault = Some(
+                    serde_json::from_str(&json)
+                        .unwrap_or_else(|e| die(&format!("bad --fault JSON: {e}"))),
+                );
+            }
+            "--out" => {
+                args.out =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path"))));
+            }
+            "--no-wait" => args.no_wait = true,
+            "--ping" => control = Some(Action::Ping),
+            "--shutdown" => control = Some(Action::Shutdown),
+            "--cancel" => {
+                let job = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cancel needs a job id"));
+                control = Some(Action::Cancel(job));
+            }
+            other if !other.starts_with('-') && spec_file.is_empty() => {
+                spec_file = other.to_string();
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args.action = match control {
+        Some(action) => {
+            if !spec_file.is_empty() {
+                die("control requests take no spec file");
+            }
+            action
+        }
+        None => {
+            if spec_file.is_empty() {
+                die("missing spec file");
+            }
+            Action::Submit { spec_file, sweep }
+        }
+    };
+    if args.quick && args.seeds.is_none() {
+        args.seeds = Some(vec![DEFAULT_SEEDS[0]]);
+    }
+    args
+}
+
+/// Build the submit request, applying `--quick`'s cycle trim (the same
+/// budgets as the `scenario` / `sweep` CLIs, so CI smoke jobs stay fast).
+fn submit_request(spec_file: &str, sweep: bool, args: &Args) -> Request {
+    let options = SubmitOptions {
+        seeds: args.seeds.clone(),
+        deadline_ms: args.deadline_ms,
+        fault: args.fault,
+    };
+    if sweep {
+        let mut spec = SweepSpec::load(spec_file).unwrap_or_else(|e| die(&e));
+        if args.quick {
+            spec.base.warmup_cycles = spec.base.warmup_cycles.min(1_000);
+            spec.base.measure_cycles = spec.base.measure_cycles.min(2_000);
+        }
+        Request::SubmitSweep { spec, options }
+    } else {
+        let mut spec = ScenarioSpec::load(spec_file).unwrap_or_else(|e| die(&e));
+        if args.quick {
+            spec.warmup_cycles = spec.warmup_cycles.min(2_000);
+            spec.measure_cycles = spec.measure_cycles.min(4_000);
+        }
+        Request::SubmitScenario { spec, options }
+    }
+}
+
+/// Deliver a result document to `--out` or stdout.
+fn deliver(result: &str, out: &Option<PathBuf>) {
+    match out {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(&format!("create {}: {e}", dir.display())));
+            }
+            std::fs::write(path, result)
+                .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+            eprintln!("wrote {}", path.display());
+        }
+        None => println!("{result}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let request = match &args.action {
+        Action::Submit { spec_file, sweep } => submit_request(spec_file, *sweep, &args),
+        Action::Ping => Request::Ping,
+        Action::Shutdown => Request::Shutdown,
+        Action::Cancel(job) => Request::Cancel { job: *job },
+    };
+
+    let mut stream = UnixStream::connect(&args.socket)
+        .unwrap_or_else(|e| fail(&format!("connect {}: {e}", args.socket.display())));
+    let reader = BufReader::new(
+        stream.try_clone().unwrap_or_else(|e| fail(&format!("clone socket: {e}"))),
+    );
+    let line = serde_json::to_string(&request)
+        .unwrap_or_else(|e| fail(&format!("serialize request: {e}")));
+    writeln!(stream, "{line}").unwrap_or_else(|e| fail(&format!("send request: {e}")));
+    if let Action::Cancel(_) = args.action {
+        // Cancellation has no success response; a trailing ping makes
+        // the round trip observable (a bad id answers protocol_error
+        // first).
+        let ping =
+            serde_json::to_string(&Request::Ping).unwrap_or_else(|e| fail(&e.to_string()));
+        writeln!(stream, "{ping}").unwrap_or_else(|e| fail(&format!("send request: {e}")));
+    }
+    if args.no_wait {
+        // Fire-and-forget: the line is buffered in the socket, the
+        // server runs the job (and caches its result) regardless.
+        return;
+    }
+
+    for line in reader.lines() {
+        let line = line.unwrap_or_else(|e| fail(&format!("read event: {e}")));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: JobEvent = serde_json::from_str(&line)
+            .unwrap_or_else(|e| fail(&format!("bad event line: {e}")));
+        match &event {
+            JobEvent::Accepted { job, queue_depth, .. } => {
+                eprintln!("job {job}: accepted (queue depth {queue_depth})")
+            }
+            JobEvent::CacheCorrupt { job, .. } => {
+                eprintln!("job {job}: cache entry failed its digest check; recomputing")
+            }
+            JobEvent::Started { job, attempt } => {
+                eprintln!("job {job}: started (attempt {attempt})")
+            }
+            JobEvent::Progress { job, done_cycles, total_cycles } => {
+                eprintln!("job {job}: {done_cycles}/{total_cycles} cycles")
+            }
+            JobEvent::Retried { job, attempt, backoff_ms, error } => {
+                eprintln!("job {job}: attempt {attempt} died ({error}); retry in {backoff_ms} ms")
+            }
+            JobEvent::Cached { job, digest, result, .. } => {
+                eprintln!("job {job}: cached (digest {digest})");
+                deliver(result, &args.out);
+                std::process::exit(0);
+            }
+            JobEvent::Completed { job, digest, result, .. } => {
+                eprintln!("job {job}: completed (digest {digest})");
+                deliver(result, &args.out);
+                std::process::exit(0);
+            }
+            JobEvent::RejectedOverload { job, queued, limit } => {
+                eprintln!("job {job}: rejected, queue full ({queued}/{limit})");
+                std::process::exit(3);
+            }
+            JobEvent::TimedOut { job, at_cycle } => {
+                eprintln!("job {job}: deadline exceeded at cycle {at_cycle}");
+                std::process::exit(4);
+            }
+            JobEvent::Cancelled { job, at_cycle } => {
+                eprintln!("job {job}: cancelled at cycle {at_cycle}");
+                std::process::exit(5);
+            }
+            JobEvent::Failed { job, attempts, error } => {
+                eprintln!("job {job}: failed after {attempts} attempt(s): {error}");
+                std::process::exit(6);
+            }
+            JobEvent::Rejected { job, error } => {
+                eprintln!("job {job}: rejected: {error}");
+                std::process::exit(6);
+            }
+            JobEvent::Pong => {
+                eprintln!("pong");
+                std::process::exit(0);
+            }
+            JobEvent::ShuttingDown { drained } => {
+                eprintln!("server shutting down ({drained} jobs drained)");
+                std::process::exit(0);
+            }
+            JobEvent::ProtocolError { error } => {
+                eprintln!("protocol error: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+    fail("connection closed before a terminal event");
+}

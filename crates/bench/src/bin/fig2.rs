@@ -7,7 +7,7 @@
 //! cargo run --release -p df-bench --bin fig2 -- --pattern un --priority none --quick
 //! ```
 
-use df_bench::{print_sweep, write_json, CommonArgs};
+use df_bench::{fail, print_sweep, write_json, CommonArgs};
 use dragonfly_core::prelude::*;
 
 fn main() {
@@ -42,6 +42,6 @@ fn main() {
     print_sweep(&labels, &sweeps);
 
     if let Some(out) = &args.out {
-        write_json(out, &sweeps);
+        write_json(out, &sweeps).unwrap_or_else(|e| fail(&e));
     }
 }

@@ -5,7 +5,7 @@
 //! cargo run --release -p df-bench --bin fig3
 //! ```
 
-use df_bench::{write_json, CommonArgs};
+use df_bench::{fail, write_json, CommonArgs};
 use dragonfly_core::prelude::*;
 
 fn main() {
@@ -39,6 +39,6 @@ fn main() {
     }
 
     if let Some(out) = &args.out {
-        write_json(out, &sweep);
+        write_json(out, &sweep).unwrap_or_else(|e| fail(&e));
     }
 }

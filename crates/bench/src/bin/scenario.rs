@@ -22,7 +22,7 @@
 //! the human-readable tables), so downstream tooling can consume the run
 //! without extra flags.
 
-use df_bench::{create_timeline_file, timeline_sink, write_json};
+use df_bench::{create_timeline_file, fail, timeline_sink, write_json};
 use dragonfly_core::prelude::*;
 use std::path::PathBuf;
 
@@ -132,14 +132,14 @@ fn main() {
         // trace file per job (`PATH.jobN.json`).
         let mut recorders = vec![TraceRecorder::new(); spec.jobs.len()];
         run_scenario_once(&spec, spec.mechanisms[0], args.seeds[0], Some(&mut recorders))
-            .unwrap_or_else(|e| die(&e));
+            .unwrap_or_else(|e| fail(&e.to_string()));
         for (j, recorder) in recorders.iter().enumerate() {
             let job_path = if recorders.len() == 1 {
                 path.clone()
             } else {
                 format!("{path}.job{j}.json")
             };
-            recorder.save(&job_path).unwrap_or_else(|e| die(&e));
+            recorder.save(&job_path).unwrap_or_else(|e| fail(&e));
             eprintln!(
                 "recorded {} events of job `{}` under {} to {job_path}",
                 recorder.events().len(),
@@ -155,16 +155,17 @@ fn main() {
         // aggregate runs below so the summary stays untouched by
         // instrumentation (it is bit-identical anyway, but the timeline
         // pass costs extra wall-clock only when requested).
-        let file = create_timeline_file(path);
+        let file = create_timeline_file(path).unwrap_or_else(|e| fail(&e));
         for &mechanism in &spec.mechanisms {
             let sink = timeline_sink(
-                file.try_clone().expect("clone timeline handle"),
+                file.try_clone()
+                    .unwrap_or_else(|e| fail(&format!("clone timeline handle: {e}"))),
                 spec.name.clone(),
                 mechanism.label().to_string(),
                 args.seeds[0],
             );
             let run = run_scenario_timeline(&spec, mechanism, args.seeds[0], sink)
-                .unwrap_or_else(|e| die(&e));
+                .unwrap_or_else(|e| fail(&e.to_string()));
             eprintln!(
                 "timeline: {} windows of `{}` under {} appended to {}",
                 run.timeline.as_ref().map_or(0, Vec::len),
@@ -175,7 +176,7 @@ fn main() {
         }
     }
 
-    let result = run_scenario(&spec, &args.seeds).unwrap_or_else(|e| die(&e));
+    let result = run_scenario(&spec, &args.seeds).unwrap_or_else(|e| fail(&e.to_string()));
 
     for m in &result.mechanisms {
         println!("\n== {} ==", m.mechanism);
@@ -211,11 +212,12 @@ fn main() {
     }
 
     if let Some(out) = &args.out {
-        write_json(out, &result);
+        write_json(out, &result).unwrap_or_else(|e| fail(&e));
     }
 
     println!(
         "\n{}",
-        serde_json::to_string_pretty(&result.summary()).expect("serialize summary")
+        serde_json::to_string_pretty(&result.summary())
+            .unwrap_or_else(|e| fail(&format!("serialize summary: {e}")))
     );
 }

@@ -23,7 +23,7 @@
 //! across threads (CI runs the bundled grid twice and compares md5s).
 //! A compact per-cell summary grid is printed to stdout.
 
-use df_bench::{create_timeline_file, timeline_sink, write_json};
+use df_bench::{create_timeline_file, fail, timeline_sink, write_json};
 use dragonfly_core::prelude::*;
 use std::path::PathBuf;
 
@@ -118,7 +118,7 @@ fn main() {
         // sweep table itself stays telemetry-free (its artifacts are
         // digest-gated), the timeline is a side stream.
         let cell = &cells[0];
-        let file = create_timeline_file(path);
+        let file = create_timeline_file(path).unwrap_or_else(|e| fail(&e));
         let sink = timeline_sink(
             file,
             format!("{}:cell{}", spec.name, cell.index),
@@ -126,7 +126,7 @@ fn main() {
             args.seeds[0],
         );
         let run = run_scenario_timeline(&cell.scenario, cell.mechanism, args.seeds[0], sink)
-            .unwrap_or_else(|e| die(&e));
+            .unwrap_or_else(|e| fail(&e.to_string()));
         eprintln!(
             "timeline: {} windows of cell {} under {} written to {}",
             run.timeline.as_ref().map_or(0, Vec::len),
@@ -136,7 +136,7 @@ fn main() {
         );
     }
 
-    let table = run_sweep(&spec, &args.seeds).unwrap_or_else(|e| die(&e));
+    let table = run_sweep(&spec, &args.seeds).unwrap_or_else(|e| fail(&e.to_string()));
 
     // Compact per-cell grid: seed-averaged network throughput/latency and
     // the worst per-job injection CoV (the unfairness signal).
@@ -174,13 +174,15 @@ fn main() {
     eprintln!("{} rows (cell x seed x scope)", table.rows.len());
 
     if let Some(out) = &args.out {
-        write_json(out, &table);
+        write_json(out, &table).unwrap_or_else(|e| fail(&e));
     }
     if let Some(csv) = &args.csv {
         if let Some(dir) = csv.parent() {
-            std::fs::create_dir_all(dir).expect("create output dir");
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(&format!("create {}: {e}", dir.display())));
         }
-        std::fs::write(csv, table.to_csv()).expect("write csv");
+        std::fs::write(csv, table.to_csv())
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", csv.display())));
         eprintln!("wrote {}", csv.display());
     }
 }

@@ -127,6 +127,15 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Print a one-line error and exit 1. For runtime failures (I/O,
+/// serialization, simulation errors); usage errors exit 2 via each
+/// binary's own `die`. Keeps CLI failures to a single stderr line
+/// instead of an unwrap backtrace.
+pub fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
 /// One line of a `--timeline out.jsonl` stream: the run coordinates plus
 /// one closed telemetry window. The vendored serde has no
 /// `#[serde(flatten)]`, so the window row nests under `window` — see
@@ -159,28 +168,34 @@ pub fn timeline_sink(
             seed,
             window: row.clone(),
         };
-        let text = serde_json::to_string(&line).expect("serialize timeline line");
-        writeln!(file, "{text}").expect("write timeline line");
-        file.flush().expect("flush timeline line");
+        let text = serde_json::to_string(&line)
+            .unwrap_or_else(|e| fail(&format!("serialize timeline line: {e}")));
+        writeln!(file, "{text}")
+            .unwrap_or_else(|e| fail(&format!("write timeline line: {e}")));
+        file.flush().unwrap_or_else(|e| fail(&format!("flush timeline line: {e}")));
     })
 }
 
 /// Create (truncate) a `--timeline` JSONL output file.
-pub fn create_timeline_file(path: &PathBuf) -> std::fs::File {
+pub fn create_timeline_file(path: &PathBuf) -> Result<std::fs::File, String> {
     if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create timeline dir");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create {}: {e}", dir.display()))?;
     }
-    std::fs::File::create(path).expect("create timeline file")
+    std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))
 }
 
 /// Write any serializable value as pretty JSON.
-pub fn write_json<T: Serialize>(path: &PathBuf, value: &T) {
+pub fn write_json<T: Serialize>(path: &PathBuf, value: &T) -> Result<(), String> {
     if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create {}: {e}", dir.display()))?;
     }
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
-    std::fs::write(path, json).expect("write results");
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| format!("serialize results: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Print a latency/throughput sweep as two aligned text tables, mirroring

@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 
 mod config;
+mod ctl;
+mod error;
 mod experiment;
 mod scenario;
 mod sim;
@@ -45,17 +47,26 @@ mod sweep;
 mod timeline;
 
 pub use config::SimConfig;
+pub use ctl::{CancelToken, RunCtl};
+pub use error::ScenarioError;
 pub use experiment::{
     run_averaged, standard_load_grid, sweep_loads, AveragedResult, DEFAULT_SEEDS,
 };
 pub use scenario::{
-    run_scenario, run_scenario_once, run_scenario_timeline, JobSummary,
-    MechanismScenarioResult, MechanismSummary, ScenarioResult, ScenarioSummary,
+    run_scenario, run_scenario_ctl, run_scenario_once, run_scenario_once_ctl,
+    run_scenario_timeline, JobSummary, MechanismScenarioResult, MechanismSummary,
+    ScenarioResult, ScenarioSummary,
 };
 pub use sim::{run_single, JobResult, JobSchedule, RunResult, Simulator};
 pub use sink::{JobAccumulator, MeasurementSink};
-pub use sweep::{run_sweep, SweepRow, SweepTable};
+pub use sweep::{run_sweep, run_sweep_ctl, SweepRow, SweepTable};
 pub use timeline::{JobWindow, TimelineSink, WindowRow};
+
+/// Engine-version tag baked into `df-service` cache keys. Bump whenever
+/// an engine change alters same-seed outputs (the same trigger that
+/// re-records the golden digests — see `docs/DETERMINISM.md`): a stale
+/// cache entry from an older engine must miss, not serve old bytes.
+pub const ENGINE_VERSION: &str = concat!("v", env!("CARGO_PKG_VERSION"), "+pb8");
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
@@ -69,10 +80,12 @@ pub use df_workload;
 /// Everything needed for typical experiment scripts.
 pub mod prelude {
     pub use crate::{
-        run_averaged, run_scenario, run_scenario_once, run_scenario_timeline, run_single,
-        run_sweep, standard_load_grid, sweep_loads, AveragedResult, JobResult, JobSchedule,
-        JobWindow, MeasurementSink, RunResult, ScenarioResult, SimConfig, Simulator,
-        SweepRow, SweepTable, TimelineSink, WindowRow, DEFAULT_SEEDS,
+        run_averaged, run_scenario, run_scenario_ctl, run_scenario_once,
+        run_scenario_once_ctl, run_scenario_timeline, run_single, run_sweep, run_sweep_ctl,
+        standard_load_grid, sweep_loads, AveragedResult, CancelToken, JobResult, JobSchedule,
+        JobWindow, MeasurementSink, RunCtl, RunResult, ScenarioError, ScenarioResult,
+        SimConfig, Simulator, SweepRow, SweepTable, TimelineSink, WindowRow, DEFAULT_SEEDS,
+        ENGINE_VERSION,
     };
     pub use df_engine::{ArbiterPolicy, EngineConfig, TelemetrySpec};
     pub use df_routing::MechanismSpec;

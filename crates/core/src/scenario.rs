@@ -3,6 +3,8 @@
 //! results under every requested mechanism.
 
 use crate::config::{derive_seed, SimConfig};
+use crate::ctl::RunCtl;
+use crate::error::ScenarioError;
 use crate::sim::{JobResult, JobSchedule, RunResult, Simulator};
 use crate::timeline::TimelineSink;
 use df_engine::TelemetrySpec;
@@ -172,8 +174,21 @@ pub fn run_scenario_once(
     mechanism: MechanismSpec,
     seed: u64,
     recorders: Option<&mut [TraceRecorder]>,
-) -> Result<RunResult, String> {
-    drive_scenario(spec, mechanism, seed, recorders, spec.telemetry, None)
+) -> Result<RunResult, ScenarioError> {
+    drive_scenario(spec, mechanism, seed, recorders, spec.telemetry, None, &RunCtl::NONE)
+}
+
+/// [`run_scenario_once`] under external run control: the driver loop
+/// calls [`RunCtl::checkpoint`] once per cycle, so cancellations,
+/// deadlines, and injected faults land at cycle granularity and an
+/// interrupted run returns an error instead of a partial result.
+pub fn run_scenario_once_ctl(
+    spec: &ScenarioSpec,
+    mechanism: MechanismSpec,
+    seed: u64,
+    ctl: &RunCtl<'_>,
+) -> Result<RunResult, ScenarioError> {
+    drive_scenario(spec, mechanism, seed, None, spec.telemetry, None, ctl)
 }
 
 /// Run one scenario cell with windowed telemetry forced on, streaming
@@ -186,9 +201,9 @@ pub fn run_scenario_timeline(
     mechanism: MechanismSpec,
     seed: u64,
     on_row: TimelineSink,
-) -> Result<RunResult, String> {
+) -> Result<RunResult, ScenarioError> {
     let telemetry = Some(spec.telemetry.unwrap_or_default());
-    drive_scenario(spec, mechanism, seed, None, telemetry, Some(on_row))
+    drive_scenario(spec, mechanism, seed, None, telemetry, Some(on_row), &RunCtl::NONE)
 }
 
 /// The shared scenario driver loop behind [`run_scenario_once`] and
@@ -201,8 +216,9 @@ fn drive_scenario(
     mut recorders: Option<&mut [TraceRecorder]>,
     telemetry: Option<TelemetrySpec>,
     timeline_sink: Option<TimelineSink>,
-) -> Result<RunResult, String> {
-    spec.validate(seed)?;
+    ctl: &RunCtl<'_>,
+) -> Result<RunResult, ScenarioError> {
+    spec.validate(seed).map_err(ScenarioError::spec)?;
     if let Some(recs) = recorders.as_deref() {
         assert_eq!(recs.len(), spec.jobs.len(), "one trace recorder per job");
     }
@@ -219,6 +235,9 @@ fn drive_scenario(
         seed,
         telemetry,
     };
+    // Surface config problems as errors, not the `Simulator::new` panic:
+    // the job service must reject a bad submission and keep serving.
+    cfg.validate().map_err(ScenarioError::spec)?;
     let packet_size = cfg.engine_config().packet_size;
     let mut sim = Simulator::new(&cfg);
     if let Some(sink) = timeline_sink {
@@ -265,6 +284,10 @@ fn drive_scenario(
     let n_nodes = spec.params.nodes();
     let mut arrivals: Vec<Arrival> = Vec::new();
     for t in 0..total_cycles {
+        // Cooperative cancellation/deadline/fault checkpoint at cycle
+        // granularity: an interrupted run aborts here, before any result
+        // is extracted, so it leaves no partial output behind.
+        ctl.checkpoint(t)?;
         if t == spec.warmup_cycles {
             sim.begin_measurement();
         }
@@ -281,10 +304,10 @@ fn drive_scenario(
                     (None, None) => unreachable!("rate process without a pattern"),
                 };
                 if arr.src.0 >= n_nodes || dst.0 >= n_nodes {
-                    return Err(format!(
+                    return Err(ScenarioError::spec(format!(
                         "job `{}` generated out-of-range packet {} -> {}",
                         spec.jobs[j].name, arr.src.0, dst.0
-                    ));
+                    )));
                 }
                 if let Some(recs) = recorders.as_deref_mut() {
                     recs[j].record(t, arr.src, dst);
@@ -311,18 +334,29 @@ fn drive_scenario(
 
 /// Run the scenario under every mechanism × seed (in parallel) and
 /// aggregate.
-pub fn run_scenario(spec: &ScenarioSpec, seeds: &[u64]) -> Result<ScenarioResult, String> {
+pub fn run_scenario(spec: &ScenarioSpec, seeds: &[u64]) -> Result<ScenarioResult, ScenarioError> {
+    run_scenario_ctl(spec, seeds, &RunCtl::NONE)
+}
+
+/// [`run_scenario`] under external run control: every parallel mechanism
+/// × seed cell observes the same [`RunCtl`], so one cancellation or
+/// deadline stops the whole aggregate within a cycle per cell.
+pub fn run_scenario_ctl(
+    spec: &ScenarioSpec,
+    seeds: &[u64],
+    ctl: &RunCtl<'_>,
+) -> Result<ScenarioResult, ScenarioError> {
     if seeds.is_empty() {
-        return Err("need at least one seed".into());
+        return Err(ScenarioError::spec("need at least one seed"));
     }
     let cells: Vec<(MechanismSpec, u64)> = spec
         .mechanisms
         .iter()
         .flat_map(|&m| seeds.iter().map(move |&s| (m, s)))
         .collect();
-    let runs: Vec<Result<RunResult, String>> = cells
+    let runs: Vec<Result<RunResult, ScenarioError>> = cells
         .par_iter()
-        .map(|&(m, s)| run_scenario_once(spec, m, s, None))
+        .map(|&(m, s)| drive_scenario(spec, m, s, None, spec.telemetry, None, ctl))
         .collect();
     let mut by_mechanism = Vec::new();
     let mut it = runs.into_iter();

@@ -9,7 +9,9 @@
 //! sweep under the same seeds serializes to a bit-identical table no
 //! matter how cells were interleaved across threads.
 
-use crate::scenario::run_scenario_once;
+use crate::ctl::RunCtl;
+use crate::error::ScenarioError;
+use crate::scenario::run_scenario_once_ctl;
 use crate::sim::RunResult;
 use df_workload::{SweepCell, SweepSpec};
 use rayon::prelude::*;
@@ -188,21 +190,34 @@ fn rows_of(cell: &SweepCell, seed: u64, run: &RunResult) -> Vec<SweepRow> {
 /// Expand `spec` and run every cell under every seed (in parallel over
 /// the whole cell × seed grid). Row order — and therefore the serialized
 /// table — depends only on the spec and the seed list.
-pub fn run_sweep(spec: &SweepSpec, seeds: &[u64]) -> Result<SweepTable, String> {
+pub fn run_sweep(spec: &SweepSpec, seeds: &[u64]) -> Result<SweepTable, ScenarioError> {
+    run_sweep_ctl(spec, seeds, &RunCtl::NONE)
+}
+
+/// [`run_sweep`] under external run control: every parallel cell × seed
+/// unit observes the same [`RunCtl`] at cycle granularity, so one
+/// cancellation or deadline stops the whole grid. Spec errors are
+/// prefixed with the failing cell's coordinate; interrupts propagate
+/// unchanged so a service layer can map them to structured events.
+pub fn run_sweep_ctl(
+    spec: &SweepSpec,
+    seeds: &[u64],
+    ctl: &RunCtl<'_>,
+) -> Result<SweepTable, ScenarioError> {
     if seeds.is_empty() {
-        return Err("need at least one seed".into());
+        return Err(ScenarioError::spec("need at least one seed"));
     }
     let cells = spec.expand()?;
     let units: Vec<(usize, u64)> = (0..cells.len())
         .flat_map(|c| seeds.iter().map(move |&s| (c, s)))
         .collect();
-    let runs: Vec<Result<Vec<SweepRow>, String>> = units
+    let runs: Vec<Result<Vec<SweepRow>, ScenarioError>> = units
         .par_iter()
         .map(|&(c, seed)| {
             let cell = &cells[c];
-            run_scenario_once(&cell.scenario, cell.mechanism, seed, None)
+            run_scenario_once_ctl(&cell.scenario, cell.mechanism, seed, ctl)
                 .map(|run| rows_of(cell, seed, &run))
-                .map_err(|e| format!("cell {c} ({}): {e}", cell.mechanism.label()))
+                .map_err(|e| e.context(&format!("cell {c} ({})", cell.mechanism.label())))
         })
         .collect();
     let mut rows = Vec::new();
@@ -314,6 +329,7 @@ mod tests {
         // (virtual geometry is only known once the placement resolves).
         spec.base.jobs[0].pattern = PatternSpec::HotSpot { hot: 900, fraction: 0.5 };
         let err = run_sweep(&spec, &[1]).unwrap_err();
-        assert!(err.contains("cell 0"), "{err}");
+        assert!(err.to_string().contains("cell 0"), "{err}");
+        assert!(!err.is_interrupt());
     }
 }

@@ -1,0 +1,177 @@
+//! The content-addressed result cache.
+//!
+//! Entries are keyed by [`crate::protocol::cache_key`] — `(spec hash,
+//! seeds, engine version)` — and hold the serialized result document
+//! plus its digest. Determinism makes the cache sound: the same key
+//! always reproduces the byte-identical document, so a hit may be
+//! served without rerunning anything. Every lookup re-derives the
+//! stored bytes' digest; a mismatch (bit rot, or the fault-injection
+//! harness) evicts the entry and reports [`Lookup::Corrupt`] so the
+//! caller recomputes instead of serving bad bytes.
+
+use crate::protocol::digest_hex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// A cached result document and the digest it must hash to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The serialized result (JSON text, byte-exact).
+    pub result: String,
+    /// [`digest_hex`] of `result` at insertion time.
+    pub digest: String,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Entry present and its digest checks out.
+    Hit(CacheEntry),
+    /// Entry present but its bytes no longer match the stored digest;
+    /// the entry has been evicted.
+    Corrupt,
+    /// No entry for this key.
+    Miss,
+}
+
+struct CacheInner {
+    map: HashMap<String, CacheEntry>,
+    /// Insertion order for FIFO eviction at capacity.
+    order: VecDeque<String>,
+}
+
+/// A bounded, thread-safe result cache with digest-checked reads.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (oldest evicted
+    /// first). `capacity` 0 disables caching: every probe misses.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity,
+        }
+    }
+
+    /// Probe `key`, re-verifying the stored digest.
+    pub fn lookup(&self, key: &str) -> Lookup {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let Some(entry) = inner.map.get(key) else {
+            return Lookup::Miss;
+        };
+        if digest_hex(entry.result.as_bytes()) == entry.digest {
+            Lookup::Hit(entry.clone())
+        } else {
+            inner.map.remove(key);
+            inner.order.retain(|k| k != key);
+            Lookup::Corrupt
+        }
+    }
+
+    /// Store `result` under `key`, returning its digest. Replaces any
+    /// previous entry; evicts the oldest entry at capacity.
+    pub fn insert(&self, key: &str, result: String) -> String {
+        let digest = digest_hex(result.as_bytes());
+        if self.capacity == 0 {
+            return digest;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.remove(key).is_some() {
+            inner.order.retain(|k| k != key);
+        }
+        while inner.map.len() >= self.capacity {
+            let Some(oldest) = inner.order.pop_front() else { break };
+            inner.map.remove(&oldest);
+        }
+        inner.order.push_back(key.to_string());
+        inner.map.insert(key.to_string(), CacheEntry { result, digest: digest.clone() });
+        digest
+    }
+
+    /// Fault-injection hook: flip a byte of the entry stored under
+    /// `key` *without* updating its digest, so the next lookup detects
+    /// the corruption. Returns `false` if the key is absent.
+    pub fn corrupt(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let Some(entry) = inner.map.get_mut(key) else {
+            return false;
+        };
+        let mut bytes = std::mem::take(&mut entry.result).into_bytes();
+        if let Some(b) = bytes.first_mut() {
+            *b ^= 0x01;
+        }
+        entry.result = String::from_utf8_lossy(&bytes).into_owned();
+        true
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_byte_identical_entry() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.lookup("k"), Lookup::Miss);
+        let digest = cache.insert("k", "{\"rows\":[1,2]}".into());
+        match cache.lookup("k") {
+            Lookup::Hit(e) => {
+                assert_eq!(e.result, "{\"rows\":[1,2]}");
+                assert_eq!(e.digest, digest);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_and_evicted() {
+        let cache = ResultCache::new(4);
+        cache.insert("k", "payload".into());
+        assert!(cache.corrupt("k"));
+        assert_eq!(cache.lookup("k"), Lookup::Corrupt);
+        // The corrupt entry is gone: the next probe is a clean miss and
+        // a recompute repopulates it.
+        assert_eq!(cache.lookup("k"), Lookup::Miss);
+        cache.insert("k", "payload".into());
+        assert!(matches!(cache.lookup("k"), Lookup::Hit(_)));
+        assert!(!cache.corrupt("unknown"));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = ResultCache::new(2);
+        cache.insert("a", "1".into());
+        cache.insert("b", "2".into());
+        cache.insert("c", "3".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup("a"), Lookup::Miss);
+        assert!(matches!(cache.lookup("b"), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup("c"), Lookup::Hit(_)));
+        // Reinserting an existing key refreshes its slot, not a second copy.
+        cache.insert("b", "2b".into());
+        assert_eq!(cache.len(), 2);
+        cache.insert("d", "4".into());
+        assert_eq!(cache.lookup("c"), Lookup::Miss, "c was oldest after b refresh");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert("k", "1".into());
+        assert_eq!(cache.lookup("k"), Lookup::Miss);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Deterministic fault injection.
+//!
+//! Every robustness claim the service makes is exercised by a fault
+//! that can be switched on per submission: a worker panic at a chosen
+//! cycle (panic isolation + retry), an artificial stall that pushes the
+//! run past its deadline (cooperative timeout), and a corrupted cache
+//! entry (digest check + recompute). Faults key off *simulated* cycle
+//! numbers, so the injection point is reproducible run to run.
+
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection knobs, submitted alongside a job (tests and the CI
+/// harness only — an omitted `fault` field injects nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Panic inside the run loop when a cell of the job reaches this
+    /// driver cycle — the "poisoned job" that must not take down the
+    /// service.
+    pub panic_at_cycle: Option<u64>,
+    /// How many attempts the panic fires on (default 1): with the
+    /// default, the first retry runs clean and succeeds; set it at or
+    /// above the retry cap to exhaust retries deterministically.
+    pub panic_attempts: Option<u32>,
+    /// Stall (sleep on the worker thread) once, when a cell of the job
+    /// reaches this driver cycle — used with a short `deadline_ms` to
+    /// force a `timed_out` event deterministically.
+    pub stall_at_cycle: Option<u64>,
+    /// Stall duration in milliseconds (default 100).
+    pub stall_ms: Option<u64>,
+    /// After the job's result lands in the cache, flip a byte of the
+    /// stored entry, so the *next* submission of the same key exercises
+    /// the digest check and recompute path.
+    pub corrupt_cache: Option<bool>,
+}
+
+impl FaultSpec {
+    /// The cycle the panic fault fires at during `attempt` (1-based),
+    /// or `None` when this attempt runs clean.
+    pub fn panic_cycle(&self, attempt: u32) -> Option<u64> {
+        let cycle = self.panic_at_cycle?;
+        (attempt <= self.panic_attempts.unwrap_or(1)).then_some(cycle)
+    }
+
+    /// The stall as `(cycle, duration_ms)`, if configured.
+    pub fn stall(&self) -> Option<(u64, u64)> {
+        self.stall_at_cycle.map(|c| (c, self.stall_ms.unwrap_or(100)))
+    }
+
+    /// Should the cache entry be corrupted after a completed run?
+    pub fn corrupts_cache(&self) -> bool {
+        self.corrupt_cache.unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fires_on_configured_attempts_only() {
+        let f = FaultSpec { panic_at_cycle: Some(40), ..FaultSpec::default() };
+        assert_eq!(f.panic_cycle(1), Some(40));
+        assert_eq!(f.panic_cycle(2), None);
+        let always = FaultSpec {
+            panic_at_cycle: Some(40),
+            panic_attempts: Some(u32::MAX),
+            ..FaultSpec::default()
+        };
+        assert_eq!(always.panic_cycle(7), Some(40));
+        assert_eq!(FaultSpec::default().panic_cycle(1), None);
+    }
+
+    #[test]
+    fn stall_defaults_its_duration() {
+        let f = FaultSpec { stall_at_cycle: Some(5), ..FaultSpec::default() };
+        assert_eq!(f.stall(), Some((5, 100)));
+        let g = FaultSpec { stall_at_cycle: Some(5), stall_ms: Some(250), ..f };
+        assert_eq!(g.stall(), Some((5, 250)));
+        assert_eq!(FaultSpec::default().stall(), None);
+    }
+
+    #[test]
+    fn omitted_json_fields_inject_nothing() {
+        let f: FaultSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(f, FaultSpec::default());
+        assert!(!f.corrupts_cache());
+        let g: FaultSpec =
+            serde_json::from_str(r#"{"panic_at_cycle": 12, "corrupt_cache": true}"#).unwrap();
+        assert_eq!(g.panic_cycle(1), Some(12));
+        assert!(g.corrupts_cache());
+    }
+}

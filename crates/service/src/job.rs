@@ -1,0 +1,178 @@
+//! Job payloads: the unit of work a submission carries.
+//!
+//! A payload knows how to pre-validate itself (so a bad spec is
+//! rejected at submit time, before it ever reaches a worker), how many
+//! driver cycles it will simulate (the denominator of `progress`
+//! events), and how to execute under a [`RunCtl`] into the canonical
+//! result document — the exact JSON text that gets cached, digested,
+//! and replayed on a cache hit.
+
+use dragonfly_core::{
+    run_scenario_ctl, run_sweep_ctl, RunCtl, ScenarioError, DEFAULT_SEEDS,
+};
+use df_workload::{ScenarioSpec, SweepSpec};
+
+/// The work behind one submission.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    /// A multi-job scenario ([`dragonfly_core::run_scenario`]).
+    Scenario(ScenarioSpec),
+    /// A sweep grid ([`dragonfly_core::run_sweep`]).
+    Sweep(SweepSpec),
+}
+
+impl JobPayload {
+    /// The cache-key kind component.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobPayload::Scenario(_) => "scenario",
+            JobPayload::Sweep(_) => "sweep",
+        }
+    }
+
+    /// The spec serialized to canonical JSON — the hashed component of
+    /// the cache key. Serialization of a deserialized spec is
+    /// deterministic (struct fields serialize in declaration order), so
+    /// semantically identical submissions share a key even when the
+    /// client formatted its JSON differently.
+    pub fn spec_json(&self) -> Result<String, ScenarioError> {
+        match self {
+            JobPayload::Scenario(s) => serde_json::to_string(s),
+            JobPayload::Sweep(s) => serde_json::to_string(s),
+        }
+        .map_err(|e| ScenarioError::spec(format!("spec serialization: {e}")))
+    }
+
+    /// Cheap structural validation at submit time: a rejected spec never
+    /// occupies a queue slot. Runtime-only failures (e.g. an
+    /// out-of-range hotspot index) still surface from the worker as a
+    /// `failed` event.
+    pub fn validate(&self, seeds: &[u64]) -> Result<(), ScenarioError> {
+        if seeds.is_empty() {
+            return Err(ScenarioError::spec("need at least one seed"));
+        }
+        match self {
+            JobPayload::Scenario(s) => s.validate(seeds[0]).map_err(ScenarioError::spec),
+            JobPayload::Sweep(s) => {
+                let cells = s.expand().map_err(ScenarioError::spec)?;
+                for (c, cell) in cells.iter().enumerate() {
+                    cell.scenario
+                        .validate(seeds[0])
+                        .map_err(|e| ScenarioError::spec(format!("cell {c}: {e}")))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Total driver cycles this payload will simulate across all of its
+    /// parallel cells — the `total_cycles` of `progress` events.
+    pub fn total_cycles(&self, seeds: &[u64]) -> u64 {
+        let n_seeds = seeds.len() as u64;
+        match self {
+            JobPayload::Scenario(s) => {
+                (s.warmup_cycles + s.measure_cycles) * s.mechanisms.len() as u64 * n_seeds
+            }
+            JobPayload::Sweep(s) => match s.expand() {
+                Ok(cells) => cells
+                    .iter()
+                    .map(|c| c.scenario.warmup_cycles + c.scenario.measure_cycles)
+                    .sum::<u64>()
+                    .saturating_mul(n_seeds),
+                Err(_) => 0,
+            },
+        }
+    }
+
+    /// Run the payload under `ctl` and serialize the canonical result
+    /// document: the scenario *summary* (no raw runs) or the full sweep
+    /// table, pretty-printed. Byte-identical across runs of the same
+    /// key per the determinism contract.
+    pub fn execute(&self, seeds: &[u64], ctl: &RunCtl<'_>) -> Result<String, ScenarioError> {
+        let doc = match self {
+            JobPayload::Scenario(s) => {
+                let result = run_scenario_ctl(s, seeds, ctl)?;
+                serde_json::to_string_pretty(&result.summary())
+            }
+            JobPayload::Sweep(s) => {
+                let table = run_sweep_ctl(s, seeds, ctl)?;
+                serde_json::to_string_pretty(&table)
+            }
+        };
+        doc.map_err(|e| ScenarioError::spec(format!("result serialization: {e}")))
+    }
+}
+
+/// The seeds a submission runs under: the client's, or the paper's
+/// three-simulation protocol.
+pub fn effective_seeds(requested: &Option<Vec<u64>>) -> Vec<u64> {
+    match requested {
+        Some(seeds) if !seeds.is_empty() => seeds.clone(),
+        _ => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_core::df_engine::ArbiterPolicy;
+    use dragonfly_core::df_routing::MechanismSpec;
+    use dragonfly_core::df_topology::{Arrangement, DragonflyParams};
+    use dragonfly_core::df_traffic::PatternSpec;
+    use df_workload::{InjectionSpec, JobSpec, PlacementSpec};
+
+    fn tiny_scenario() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "svc-tiny".into(),
+            params: DragonflyParams::figure1(),
+            arrangement: Arrangement::Palmtree,
+            mechanisms: vec![MechanismSpec::InTransitMm],
+            arbiter: ArbiterPolicy::TransitPriority,
+            warmup_cycles: 100,
+            measure_cycles: 200,
+            telemetry: None,
+            jobs: vec![JobSpec {
+                name: "app".into(),
+                placement: PlacementSpec::ConsecutiveGroups { first: 0, count: 2, slots: None },
+                pattern: PatternSpec::Uniform,
+                injection: InjectionSpec::Bernoulli,
+                load: 0.2,
+                start_cycle: None,
+                stop_cycle: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn total_cycles_counts_every_cell() {
+        let p = JobPayload::Scenario(tiny_scenario());
+        // (warmup + measure) × 1 mechanism × 2 seeds
+        assert_eq!(p.total_cycles(&[1, 2]), 300 * 2);
+    }
+
+    #[test]
+    fn validate_rejects_empty_seeds_and_bad_specs() {
+        let p = JobPayload::Scenario(tiny_scenario());
+        assert!(p.validate(&[]).is_err());
+        assert!(p.validate(&[1]).is_ok());
+        let mut bad = tiny_scenario();
+        bad.jobs.clear();
+        assert!(JobPayload::Scenario(bad).validate(&[1]).is_err());
+    }
+
+    #[test]
+    fn execute_is_byte_deterministic() {
+        let p = JobPayload::Scenario(tiny_scenario());
+        let a = p.execute(&[7], &RunCtl::NONE).unwrap();
+        let b = p.execute(&[7], &RunCtl::NONE).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("svc-tiny"));
+    }
+
+    #[test]
+    fn effective_seeds_defaults_to_the_paper_protocol() {
+        assert_eq!(effective_seeds(&None), DEFAULT_SEEDS.to_vec());
+        assert_eq!(effective_seeds(&Some(vec![])), DEFAULT_SEEDS.to_vec());
+        assert_eq!(effective_seeds(&Some(vec![5])), vec![5]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # df-service — the fault-tolerant scenario job service
+//!
+//! A long-running job server in front of the simulator: clients submit
+//! [`df_workload::ScenarioSpec`] / [`df_workload::SweepSpec`] jobs over
+//! a local Unix socket as newline-delimited JSON and read back a
+//! structured [`JobEvent`] stream.
+//!
+//! The service exists to make the simulator *safe to share*: a bounded
+//! worker pool with admission control (a full queue rejects instead of
+//! growing), per-job deadlines with cooperative cancellation (an
+//! interrupted run leaves no partial output), retry with capped
+//! exponential backoff for panicking attempts, per-attempt panic
+//! isolation, graceful shutdown that drains in-flight jobs, and a
+//! content-addressed result cache keyed by
+//! `(spec hash, seeds, engine version)` — sound because the engine is
+//! deterministic (docs/DETERMINISM.md): the same key always reproduces
+//! the byte-identical result document, and every cached read is
+//! digest-checked so bit rot is detected and recomputed rather than
+//! served.
+//!
+//! Every robustness claim is exercised by the [`FaultSpec`] injection
+//! harness: a worker panic at cycle N, an artificial stall past the
+//! deadline, and a corrupted cache entry. See `docs/SERVICE.md` for the
+//! wire protocol and event schema, and the `df-serve` / `df-submit`
+//! binaries in `df-bench` for the CLI surface.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fault;
+pub mod job;
+pub mod protocol;
+pub mod server;
+pub mod service;
+mod worker;
+
+pub use cache::{CacheEntry, Lookup, ResultCache};
+pub use fault::FaultSpec;
+pub use job::{effective_seeds, JobPayload};
+pub use protocol::{cache_key, digest_hex, fnv1a64, JobEvent, Request, SubmitOptions};
+pub use server::serve;
+pub use service::{EventSink, Service, ServiceConfig};
+pub use worker::SubmitError;

@@ -1,0 +1,239 @@
+//! The bounded worker pool behind the service.
+//!
+//! Admission control lives here: the queue has a hard depth cap, and a
+//! submission against a full queue is refused *synchronously* with
+//! [`SubmitError::Overload`] instead of growing memory without bound —
+//! the paper's §III point applied to our own runner: a burst of
+//! innocent submissions is indistinguishable from an adversarial one,
+//! so the backstop must be structural.
+//!
+//! Tasks run under `catch_unwind` (a second line of defense behind the
+//! service's own per-attempt isolation), so one poisoned job can never
+//! take a worker thread — let alone the service — down. Shutdown is
+//! graceful: the queue refuses new work, workers drain everything
+//! already admitted, and [`WorkerPool::shutdown`] joins them.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: runs once on a worker thread.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its depth cap.
+    Overload {
+        /// Tasks queued when the submission arrived.
+        queued: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The pool is shutting down and admits nothing new.
+    Closed,
+}
+
+#[derive(Default)]
+struct Queue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<Queue>,
+    wake: Condvar,
+    cap: usize,
+    /// Tasks completed after the shutdown flag was raised (the drain
+    /// count reported by `shutting_down`).
+    drained: AtomicU64,
+}
+
+/// A fixed-size thread pool over a bounded FIFO queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads over a queue capped at `queue_cap`
+    /// waiting tasks (running tasks don't count against the cap).
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(Queue::default()),
+            wake: Condvar::new(),
+            cap: queue_cap,
+            drained: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, handles: Mutex::new(handles) }
+    }
+
+    /// Admit `task` if the queue has room, calling `on_admit` with the
+    /// resulting queue depth *before* any worker can observe the task —
+    /// so an `accepted` event always precedes the job's `started`.
+    pub fn try_submit(
+        &self,
+        task: Task,
+        on_admit: impl FnOnce(u64),
+    ) -> Result<(), SubmitError> {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        if queue.shutdown {
+            return Err(SubmitError::Closed);
+        }
+        if queue.tasks.len() >= self.shared.cap {
+            return Err(SubmitError::Overload {
+                queued: queue.tasks.len() as u64,
+                limit: self.shared.cap as u64,
+            });
+        }
+        queue.tasks.push_back(task);
+        on_admit(queue.tasks.len() as u64);
+        drop(queue);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Tasks currently waiting (not running).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue lock").tasks.len()
+    }
+
+    /// Graceful shutdown: refuse new work, let the workers drain every
+    /// queued and in-flight task, and join them. Returns the number of
+    /// tasks that completed after the shutdown was requested.
+    pub fn shutdown(&self) -> u64 {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            if queue.shutdown {
+                // Second caller: the first drain (still joining, or
+                // done) owns the count.
+                drop(queue);
+                self.join_all();
+                return self.shared.drained.load(Ordering::Acquire);
+            }
+            queue.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        self.join_all();
+        self.shared.drained.load(Ordering::Acquire)
+    }
+
+    fn join_all(&self) {
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.handles.lock().expect("pool handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.wake.wait(queue).expect("pool queue lock");
+            }
+        };
+        let shutting_down = shared.queue.lock().expect("pool queue lock").shutdown;
+        // Panic isolation: a task that unwinds must not kill the worker.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        if shutting_down {
+            shared.drained.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn counting_task(counter: &Arc<AtomicUsize>) -> Task {
+        let counter = Arc::clone(counter);
+        Box::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn overload_is_reported_synchronously() {
+        // No workers consuming: occupy the single worker with a gate.
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.try_submit(
+            Box::new(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }),
+            |_| {},
+        )
+        .unwrap();
+        // Give the worker time to claim the gate task, then fill the queue.
+        std::thread::sleep(Duration::from_millis(50));
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(counting_task(&done), |_| {}).unwrap();
+        pool.try_submit(counting_task(&done), |_| {}).unwrap();
+        let err = pool.try_submit(counting_task(&done), |_| {}).unwrap_err();
+        assert_eq!(err, SubmitError::Overload { queued: 2, limit: 2 });
+        // Open the gate; shutdown drains the two queued tasks.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.try_submit(Box::new(|| panic!("poisoned job")), |_| {}).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(counting_task(&done), |_| {}).unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker survived the panic");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_closes_admission() {
+        let pool = WorkerPool::new(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            pool.try_submit(counting_task(&done), |_| {}).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+        let err = pool.try_submit(counting_task(&done), |_| {}).unwrap_err();
+        assert_eq!(err, SubmitError::Closed);
+    }
+
+    #[test]
+    fn on_admit_sees_the_depth_before_workers_run() {
+        let pool = WorkerPool::new(1, 4);
+        let mut depth = 0;
+        pool.try_submit(Box::new(|| {}), |d| depth = d).unwrap();
+        assert_eq!(depth, 1);
+        pool.shutdown();
+    }
+}

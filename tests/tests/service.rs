@@ -1,0 +1,398 @@
+//! Fault-injection integration suite for the df-service job server.
+//!
+//! Every robustness claim in docs/SERVICE.md is asserted here via the
+//! structured JobEvent stream — never via timing:
+//!
+//! * admission control rejects over-quota submissions (`rejected_overload`)
+//!   while queued work still drains;
+//! * a stall past the per-attempt deadline produces `timed_out` and
+//!   leaves no partial output (a resubmission recomputes, it does not
+//!   hit the cache);
+//! * a worker panic is isolated, retried, and the service keeps serving;
+//! * a cached resubmission replays the byte-identical result document
+//!   (digest-checked);
+//! * a corrupted cache entry is detected, evicted, and recomputed;
+//! * the whole protocol round-trips over the Unix socket, including a
+//!   draining shutdown.
+
+use df_service::{
+    digest_hex, serve, EventSink, FaultSpec, JobEvent, JobPayload, Request, Service,
+    ServiceConfig, SubmitOptions,
+};
+use dragonfly_core::df_engine::ArbiterPolicy;
+use dragonfly_core::df_routing::MechanismSpec;
+use dragonfly_core::df_topology::{Arrangement, DragonflyParams};
+use dragonfly_core::df_traffic::PatternSpec;
+use dragonfly_core::df_workload::{InjectionSpec, JobSpec, PlacementSpec, ScenarioSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A sub-second two-job scenario on the 72-node Figure 1 network.
+fn tiny_scenario(name: &str) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        params: DragonflyParams::figure1(),
+        arrangement: Arrangement::Palmtree,
+        mechanisms: vec![MechanismSpec::InTransitMm],
+        arbiter: ArbiterPolicy::TransitPriority,
+        warmup_cycles: 100,
+        measure_cycles: 200,
+        telemetry: None,
+        jobs: vec![
+            JobSpec {
+                name: "victim".into(),
+                placement: PlacementSpec::ConsecutiveGroups { first: 0, count: 2, slots: None },
+                pattern: PatternSpec::Uniform,
+                injection: InjectionSpec::Bernoulli,
+                load: 0.2,
+                start_cycle: None,
+                stop_cycle: None,
+            },
+            JobSpec {
+                name: "aggressor".into(),
+                placement: PlacementSpec::ConsecutiveGroups { first: 2, count: 2, slots: None },
+                pattern: PatternSpec::AdvConsecutive { spread: None },
+                injection: InjectionSpec::Bernoulli,
+                load: 0.3,
+                start_cycle: None,
+                stop_cycle: None,
+            },
+        ],
+    }
+}
+
+fn collecting_sink() -> (EventSink, Arc<Mutex<Vec<JobEvent>>>) {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sunk = Arc::clone(&events);
+    let sink: EventSink = Arc::new(move |e| sunk.lock().unwrap().push(e));
+    (sink, events)
+}
+
+/// Poll until `job` has a terminal event, returning its full stream.
+fn wait_terminal(events: &Arc<Mutex<Vec<JobEvent>>>, job: u64) -> Vec<JobEvent> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        {
+            let evs = events.lock().unwrap();
+            if evs.iter().any(|e| e.job() == Some(job) && e.is_terminal()) {
+                return evs.iter().filter(|e| e.job() == Some(job)).cloned().collect();
+            }
+        }
+        assert!(Instant::now() < deadline, "no terminal event for job {job}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn wait_started(events: &Arc<Mutex<Vec<JobEvent>>>, job: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !events
+        .lock()
+        .unwrap()
+        .iter()
+        .any(|e| matches!(e, JobEvent::Started { job: j, .. } if *j == job))
+    {
+        assert!(Instant::now() < deadline, "job {job} never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn one_seed(fault: Option<FaultSpec>, deadline_ms: Option<u64>) -> SubmitOptions {
+    SubmitOptions { seeds: Some(vec![1]), deadline_ms, fault }
+}
+
+#[test]
+fn over_quota_submissions_are_rejected_while_queued_work_drains() {
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServiceConfig::default()
+    });
+    let (sink, events) = collecting_sink();
+    // Job A occupies the single worker via a long stall.
+    let stall = FaultSpec {
+        stall_at_cycle: Some(10),
+        stall_ms: Some(500),
+        ..FaultSpec::default()
+    };
+    let a = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-admission")),
+        one_seed(Some(stall), None),
+        Arc::clone(&sink),
+    );
+    wait_started(&events, a);
+    // Job B fills the single queue slot; job C is over quota.
+    let b = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-admission-b")),
+        one_seed(None, None),
+        Arc::clone(&sink),
+    );
+    let c = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-admission-c")),
+        one_seed(None, None),
+        Arc::clone(&sink),
+    );
+    let evs_c = wait_terminal(&events, c);
+    match &evs_c[..] {
+        [JobEvent::RejectedOverload { queued, limit, .. }] => {
+            assert_eq!((*queued, *limit), (1, 1));
+        }
+        other => panic!("expected a lone rejected_overload, got {other:?}"),
+    }
+    // The rejection did not disturb admitted work: A and B both complete.
+    assert_eq!(wait_terminal(&events, a).last().unwrap().label(), "completed");
+    assert_eq!(wait_terminal(&events, b).last().unwrap().label(), "completed");
+    svc.shutdown();
+}
+
+#[test]
+fn stall_past_deadline_times_out_and_leaves_no_partial_output() {
+    let svc = Service::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let (sink, events) = collecting_sink();
+    let stall = FaultSpec {
+        stall_at_cycle: Some(50),
+        stall_ms: Some(200),
+        ..FaultSpec::default()
+    };
+    let job = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-deadline")),
+        one_seed(Some(stall), Some(40)),
+        Arc::clone(&sink),
+    );
+    let evs = wait_terminal(&events, job);
+    match evs.last().unwrap() {
+        JobEvent::TimedOut { at_cycle, .. } => {
+            assert!(*at_cycle >= 50, "deadline fired during the stall, got {at_cycle}")
+        }
+        other => panic!("expected timed_out, got {other:?}"),
+    }
+    // No partial output: the same spec resubmitted must recompute
+    // (`completed`), not replay a cache entry (`cached`).
+    let clean = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-deadline")),
+        one_seed(None, None),
+        sink,
+    );
+    let evs2 = wait_terminal(&events, clean);
+    assert_eq!(evs2.last().unwrap().label(), "completed");
+    svc.shutdown();
+}
+
+#[test]
+fn worker_panic_is_isolated_retried_and_the_service_keeps_serving() {
+    let svc = Service::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let (sink, events) = collecting_sink();
+    // Panics on attempt 1 only: the retry runs clean.
+    let fault = FaultSpec { panic_at_cycle: Some(120), ..FaultSpec::default() };
+    let job = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-panic")),
+        one_seed(Some(fault), None),
+        Arc::clone(&sink),
+    );
+    let evs = wait_terminal(&events, job);
+    let labels: Vec<_> = evs.iter().map(|e| e.label()).collect();
+    assert!(labels.contains(&"retried"), "{labels:?}");
+    assert_eq!(*labels.last().unwrap(), "completed", "{labels:?}");
+    // Exhausted retries end in `failed` — and the worker survives.
+    let poison = FaultSpec {
+        panic_at_cycle: Some(120),
+        panic_attempts: Some(u32::MAX),
+        ..FaultSpec::default()
+    };
+    let doomed = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-poison")),
+        one_seed(Some(poison), None),
+        Arc::clone(&sink),
+    );
+    let evs2 = wait_terminal(&events, doomed);
+    match evs2.last().unwrap() {
+        JobEvent::Failed { attempts, error, .. } => {
+            assert_eq!(*attempts, 3, "default max_retries=2 gives 3 attempts");
+            assert!(error.contains("injected fault"), "{error}");
+        }
+        other => panic!("expected failed, got {other:?}"),
+    }
+    let next = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-after-poison")),
+        one_seed(None, None),
+        sink,
+    );
+    assert_eq!(wait_terminal(&events, next).last().unwrap().label(), "completed");
+    svc.shutdown();
+}
+
+#[test]
+fn cached_resubmission_is_byte_identical_and_digest_checked() {
+    let svc = Service::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let (sink, events) = collecting_sink();
+    let job = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-cache")),
+        one_seed(None, None),
+        Arc::clone(&sink),
+    );
+    let evs = wait_terminal(&events, job);
+    let (key1, digest1, result1) = match evs.last().unwrap() {
+        JobEvent::Completed { key, digest, result, .. } => {
+            (key.clone(), digest.clone(), result.clone())
+        }
+        other => panic!("expected completed, got {other:?}"),
+    };
+    // The advertised digest is the real content digest of the document.
+    assert_eq!(digest1, digest_hex(result1.as_bytes()));
+    let again = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-cache")),
+        one_seed(None, None),
+        sink,
+    );
+    let evs2 = wait_terminal(&events, again);
+    match &evs2[..] {
+        [JobEvent::Cached { key, digest, result, .. }] => {
+            assert_eq!(*key, key1);
+            assert_eq!(*digest, digest1);
+            assert_eq!(*result, result1, "cache replay must be byte-identical");
+        }
+        other => panic!("expected a lone cached event, got {other:?}"),
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn corrupted_cache_entry_is_detected_and_recomputed() {
+    let svc = Service::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let (sink, events) = collecting_sink();
+    let fault = FaultSpec { corrupt_cache: Some(true), ..FaultSpec::default() };
+    let job = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-rot")),
+        one_seed(Some(fault), None),
+        Arc::clone(&sink),
+    );
+    let evs = wait_terminal(&events, job);
+    let result1 = match evs.last().unwrap() {
+        JobEvent::Completed { result, .. } => result.clone(),
+        other => panic!("expected completed, got {other:?}"),
+    };
+    // The rotted entry must never be served: the resubmission reports
+    // the corruption and recomputes the byte-identical document.
+    let again = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-rot")),
+        one_seed(None, None),
+        sink,
+    );
+    let evs2 = wait_terminal(&events, again);
+    let labels: Vec<_> = evs2.iter().map(|e| e.label()).collect();
+    assert_eq!(labels.first().unwrap(), &"cache_corrupt", "{labels:?}");
+    match evs2.last().unwrap() {
+        JobEvent::Completed { result, digest, .. } => {
+            assert_eq!(*result, result1, "recompute must reproduce the original bytes");
+            assert_eq!(*digest, digest_hex(result.as_bytes()));
+        }
+        other => panic!("expected completed, got {other:?}"),
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn cancelling_a_queued_job_is_observed_before_it_simulates() {
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServiceConfig::default()
+    });
+    let (sink, events) = collecting_sink();
+    let stall = FaultSpec {
+        stall_at_cycle: Some(10),
+        stall_ms: Some(400),
+        ..FaultSpec::default()
+    };
+    let blocker = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-blocker")),
+        one_seed(Some(stall), None),
+        Arc::clone(&sink),
+    );
+    wait_started(&events, blocker);
+    let queued = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-queued")),
+        one_seed(None, None),
+        sink,
+    );
+    assert!(svc.cancel(queued), "queued job must be cancellable");
+    let evs = wait_terminal(&events, queued);
+    match evs.last().unwrap() {
+        JobEvent::Cancelled { at_cycle, .. } => {
+            assert_eq!(*at_cycle, 0, "cancellation observed at the first checkpoint")
+        }
+        other => panic!("expected cancelled, got {other:?}"),
+    }
+    assert_eq!(wait_terminal(&events, blocker).last().unwrap().label(), "completed");
+    svc.shutdown();
+}
+
+#[test]
+fn full_protocol_round_trips_over_the_unix_socket() {
+    let socket = std::env::temp_dir()
+        .join(format!("df-service-it-{}.sock", std::process::id()));
+    let service = Arc::new(Service::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }));
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve(service, &socket, None))
+    };
+    let mut client = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match UnixStream::connect(&socket) {
+                Ok(s) => break s,
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "server socket never came up");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    };
+    let mut reader = BufReader::new(client.try_clone().unwrap());
+    let read_event = |reader: &mut BufReader<UnixStream>| -> JobEvent {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        serde_json::from_str(&line).unwrap()
+    };
+
+    let submit = Request::SubmitScenario {
+        spec: tiny_scenario("svc-wire"),
+        options: one_seed(None, None),
+    };
+    writeln!(client, "{}", serde_json::to_string(&submit).unwrap()).unwrap();
+    let accepted = read_event(&mut reader);
+    assert_eq!(accepted.label(), "accepted");
+    let job = accepted.job().unwrap();
+    // Drain non-terminal events until this job's terminal one.
+    let (digest, result) = loop {
+        let event = read_event(&mut reader);
+        assert_eq!(event.job(), Some(job));
+        if let JobEvent::Completed { digest, result, .. } = &event {
+            break (digest.clone(), result.clone());
+        }
+        assert!(!event.is_terminal(), "unexpected terminal event {event:?}");
+    };
+    assert_eq!(digest, digest_hex(result.as_bytes()));
+
+    // Same submission again: a lone `cached` event, byte-identical.
+    writeln!(client, "{}", serde_json::to_string(&submit).unwrap()).unwrap();
+    match read_event(&mut reader) {
+        JobEvent::Cached { digest: d2, result: r2, .. } => {
+            assert_eq!(d2, digest);
+            assert_eq!(r2, result);
+        }
+        other => panic!("expected cached, got {other:?}"),
+    }
+
+    writeln!(client, "{}", serde_json::to_string(&Request::Shutdown).unwrap()).unwrap();
+    match read_event(&mut reader) {
+        JobEvent::ShuttingDown { .. } => {}
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    server.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&socket);
+}
