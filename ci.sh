@@ -103,6 +103,63 @@ submit --quick --seeds 4 scenarios/interference_advc_vs_uniform.json || rc=$?
 submit --shutdown
 wait "$service_pid"
 
+echo "==> kill-recovery leg (durable state: crash mid-sweep, resume from checkpoint)"
+# A state-backed server is aborted by a crash-point fault after three
+# sweep-unit commits. A restarted server over the same --state-dir must
+# resume the bundled sweep from its checkpoint — recomputing strictly
+# fewer cells than the full grid — and the recovered table must be
+# byte-identical to an uninterrupted run on a fresh state dir. A final
+# submission replays the same bytes from the durable result cache.
+recovery_sock="$(mktemp -u /tmp/df-recovery-ci.XXXXXX.sock)"
+recovery_dir="$(mktemp -d)"
+trap 'rm -rf "${fresh_dir:-}" "${sweep_rerun:-}" "${service_dir:-}" "${recovery_dir:-}"; rm -f "${service_sock:-}" "${recovery_sock:-}"' EXIT
+serve_recovery() { # <state-dir> <event-log>
+    cargo run --release -p df-bench --bin df-serve -- \
+        --socket "$recovery_sock" --workers 1 \
+        --state-dir "$1" --event-log "$2" &
+    recovery_pid=$!
+    for _ in $(seq 1 100); do
+        [ -S "$recovery_sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$recovery_sock" ] || { echo "df-serve (recovery leg) never bound its socket" >&2; exit 1; }
+}
+rsubmit() { cargo run --release -p df-bench --bin df-submit -- --socket "$recovery_sock" "$@"; }
+# Uninterrupted baseline on a throwaway state dir.
+serve_recovery "$recovery_dir/baseline-state" "$recovery_dir/baseline.jsonl"
+rsubmit --sweep --quick --out "$recovery_dir/baseline.json" \
+    scenarios/sweep_unfairness_grid.json
+rsubmit --shutdown
+wait "$recovery_pid"
+# Crash leg: the fault aborts the server after the third unit commit;
+# the client sees a dropped connection (nonzero exit) and the state dir
+# keeps the committed checkpoint lines.
+serve_recovery "$recovery_dir/state" "$recovery_dir/crash.jsonl"
+rsubmit --sweep --quick --fault '{"crash_after_cells": 3}' \
+    scenarios/sweep_unfairness_grid.json 2> /dev/null || true
+wait "$recovery_pid" 2> /dev/null || true
+# Resume leg: the restart reclaims the stale socket the abort left
+# behind, replays the checkpoint, and recomputes only unfinished cells.
+serve_recovery "$recovery_dir/state" "$recovery_dir/resume.jsonl"
+rsubmit --sweep --quick --out "$recovery_dir/recovered.json" \
+    scenarios/sweep_unfairness_grid.json 2> "$recovery_dir/resume.log"
+grep -q recovered "$recovery_dir/resume.log"
+total_units=36 # 3 loads x 2 patterns x 2 placements x 3 mechanisms, 1 quick seed
+resumed_rows=$(grep -c '"event":"sweep_rows"' "$recovery_dir/resume.jsonl")
+[ "$resumed_rows" -ge 1 ] && [ "$resumed_rows" -lt "$total_units" ] || {
+    echo "resume recomputed $resumed_rows of $total_units units (expected strictly fewer)" >&2
+    exit 1
+}
+cmp "$recovery_dir/baseline.json" "$recovery_dir/recovered.json"
+# The completed table is now a durable cache entry: a resubmission is a
+# byte-identical cached replay, not a rerun.
+rsubmit --sweep --quick --out "$recovery_dir/cached.json" \
+    scenarios/sweep_unfairness_grid.json 2> "$recovery_dir/cached.log"
+grep -q cached "$recovery_dir/cached.log"
+cmp "$recovery_dir/baseline.json" "$recovery_dir/cached.json"
+rsubmit --shutdown
+wait "$recovery_pid"
+
 echo "==> criterion benches in --test mode (each body runs once)"
 cargo bench -p df-bench -- --test
 

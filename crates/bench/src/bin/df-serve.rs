@@ -15,7 +15,11 @@
 //! * `--max-retries N` — retries after a panicking attempt (default 2),
 //! * `--progress-cycles N` — cycles between `progress` events (default 1000),
 //! * `--event-log PATH` — append every event of every connection as JSON
-//!   lines (the artifact CI archives).
+//!   lines (the artifact CI archives),
+//! * `--state-dir PATH` — durable state root: completed results spill
+//!   here and reload (digest-verified) after a restart, and in-flight
+//!   sweeps checkpoint per `(cell, seed)` unit so a killed server
+//!   resumes instead of recomputing (docs/SERVICE.md "Durability").
 //!
 //! Submit jobs with `df-submit`; see `docs/SERVICE.md` for the protocol.
 
@@ -34,7 +38,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: df-serve [--socket PATH] [--workers N] [--queue-depth N] \
-         [--cache-capacity N] [--max-retries N] [--progress-cycles N] [--event-log PATH]"
+         [--cache-capacity N] [--max-retries N] [--progress-cycles N] [--event-log PATH] \
+         [--state-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -61,6 +66,10 @@ fn parse_args() -> Args {
                 args.event_log =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| die("--event-log needs a path"))));
             }
+            "--state-dir" => {
+                args.cfg.state_dir =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--state-dir needs a path"))));
+            }
             "--workers" => args.cfg.workers = number(&mut it, "--workers").max(1),
             "--queue-depth" => args.cfg.queue_depth = number(&mut it, "--queue-depth"),
             "--cache-capacity" => args.cfg.cache_capacity = number(&mut it, "--cache-capacity"),
@@ -85,7 +94,20 @@ fn main() {
         args.cfg.cache_capacity,
         args.cfg.max_retries,
     );
-    let service = Arc::new(Service::new(args.cfg));
+    let state_dir = args.cfg.state_dir.clone();
+    let service = Arc::new(
+        Service::open(args.cfg)
+            .unwrap_or_else(|e| fail(&format!("open state dir: {e}"))),
+    );
+    if let Some(dir) = &state_dir {
+        let report = service.startup_report();
+        eprintln!(
+            "df-serve: state dir {} — recovered {} cached result(s), quarantined {}",
+            dir.display(),
+            report.entries.len(),
+            report.quarantined.len(),
+        );
+    }
     serve(service, &args.socket, args.event_log.as_deref())
         .unwrap_or_else(|e| fail(&format!("serve on {}: {e}", args.socket.display())));
     // Graceful exit: the accept loop only returns after a `shutdown`

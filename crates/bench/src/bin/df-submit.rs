@@ -18,12 +18,27 @@
 //! * `--fault JSON` — a [`df_service::FaultSpec`] object (tests/CI only),
 //! * `--out PATH` — write the result document (completed or cached) here
 //!   instead of stdout,
+//! * `--rows PATH` — append each `sweep_rows` event's rows here as JSON
+//!   lines while the sweep runs (the incremental-row stream),
 //! * `--no-wait` — submit and exit 0 without waiting for a terminal event,
 //! * `--ping` / `--shutdown` / `--cancel JOB` — control requests.
 //!
-//! Exit codes: 0 completed/cached · 3 rejected-overload · 4 timed-out ·
-//! 5 cancelled · 6 failed/rejected · 2 usage or protocol error ·
-//! 1 I/O failure.
+//! Against a `df-serve --state-dir` server, a resubmission after a crash
+//! also streams `recovered` (units reloaded from the job's checkpoint —
+//! these do *not* re-emit `sweep_rows`) before recomputing only the
+//! unfinished cells.
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | `completed`, `cached`, `pong`, or `shutting_down` |
+//! | 2 | usage error or `protocol_error` |
+//! | 3 | `rejected_overload` (admission queue full) |
+//! | 4 | `timed_out` (deadline exceeded) |
+//! | 5 | `cancelled` |
+//! | 6 | `failed` (retries exhausted) or `rejected` (bad spec) |
+//! | 1 | I/O failure (connect, read, write) |
 
 use df_bench::fail;
 use df_service::{FaultSpec, JobEvent, Request, SubmitOptions};
@@ -48,6 +63,7 @@ struct Args {
     deadline_ms: Option<u64>,
     fault: Option<FaultSpec>,
     out: Option<PathBuf>,
+    rows: Option<PathBuf>,
     no_wait: bool,
 }
 
@@ -55,8 +71,10 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: df-submit [--socket PATH] [--sweep] [--seeds N] [--quick] \
-         [--deadline-ms MS] [--fault JSON] [--out PATH] [--no-wait] SPEC.json\n\
-         \x20      df-submit [--socket PATH] --ping | --shutdown | --cancel JOB"
+         [--deadline-ms MS] [--fault JSON] [--out PATH] [--rows PATH] [--no-wait] SPEC.json\n\
+         \x20      df-submit [--socket PATH] --ping | --shutdown | --cancel JOB\n\
+         exit codes: 0 completed/cached/pong/shutting-down · 3 rejected-overload · \
+         4 timed-out · 5 cancelled · 6 failed/rejected · 2 usage/protocol · 1 I/O"
     );
     std::process::exit(2);
 }
@@ -70,6 +88,7 @@ fn parse_args() -> Args {
         deadline_ms: None,
         fault: None,
         out: None,
+        rows: None,
         no_wait: false,
     };
     let mut sweep = false;
@@ -109,6 +128,10 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path"))));
+            }
+            "--rows" => {
+                args.rows =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--rows needs a path"))));
             }
             "--no-wait" => args.no_wait = true,
             "--ping" => control = Some(Action::Ping),
@@ -168,6 +191,25 @@ fn submit_request(spec_file: &str, sweep: bool, args: &Args) -> Request {
             spec.measure_cycles = spec.measure_cycles.min(4_000);
         }
         Request::SubmitScenario { spec, options }
+    }
+}
+
+/// Append one `sweep_rows` event's rows to the `--rows` file as JSON
+/// lines, one row per line, as they stream in.
+fn append_rows(path: &PathBuf, rows: &[dragonfly_core::SweepRow]) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("create {}: {e}", dir.display())));
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| fail(&format!("open {}: {e}", path.display())));
+    for row in rows {
+        let line = serde_json::to_string(row)
+            .unwrap_or_else(|e| fail(&format!("serialize row: {e}")));
+        writeln!(file, "{line}").unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
     }
 }
 
@@ -240,6 +282,17 @@ fn main() {
             }
             JobEvent::Retried { job, attempt, backoff_ms, error } => {
                 eprintln!("job {job}: attempt {attempt} died ({error}); retry in {backoff_ms} ms")
+            }
+            JobEvent::Recovered { job, cells_done, cells_total, .. } => {
+                eprintln!(
+                    "job {job}: recovered {cells_done}/{cells_total} unit(s) from checkpoint"
+                )
+            }
+            JobEvent::SweepRows { job, cell, seed, rows } => {
+                eprintln!("job {job}: cell {cell} seed {seed}: {} row(s)", rows.len());
+                if let Some(path) = &args.rows {
+                    append_rows(path, rows);
+                }
             }
             JobEvent::Cached { job, digest, result, .. } => {
                 eprintln!("job {job}: cached (digest {digest})");

@@ -59,7 +59,7 @@ pub use scenario::{
 };
 pub use sim::{run_single, JobResult, JobSchedule, RunResult, Simulator};
 pub use sink::{JobAccumulator, MeasurementSink};
-pub use sweep::{run_sweep, run_sweep_ctl, SweepRow, SweepTable};
+pub use sweep::{run_sweep, run_sweep_ctl, run_sweep_hooked, SweepHooks, SweepRow, SweepTable};
 pub use timeline::{JobWindow, TimelineSink, WindowRow};
 
 /// Engine-version tag baked into `df-service` cache keys. Bump whenever
@@ -82,10 +82,10 @@ pub mod prelude {
     pub use crate::{
         run_averaged, run_scenario, run_scenario_ctl, run_scenario_once,
         run_scenario_once_ctl, run_scenario_timeline, run_single, run_sweep, run_sweep_ctl,
-        standard_load_grid, sweep_loads, AveragedResult, CancelToken, JobResult, JobSchedule,
-        JobWindow, MeasurementSink, RunCtl, RunResult, ScenarioError, ScenarioResult,
-        SimConfig, Simulator, SweepRow, SweepTable, TimelineSink, WindowRow, DEFAULT_SEEDS,
-        ENGINE_VERSION,
+        run_sweep_hooked, standard_load_grid, sweep_loads, AveragedResult, CancelToken,
+        JobResult, JobSchedule, JobWindow, MeasurementSink, RunCtl, RunResult, ScenarioError,
+        ScenarioResult, SimConfig, Simulator, SweepHooks, SweepRow, SweepTable, TimelineSink,
+        WindowRow, DEFAULT_SEEDS, ENGINE_VERSION,
     };
     pub use df_engine::{ArbiterPolicy, EngineConfig, TelemetrySpec};
     pub use df_routing::MechanismSpec;

@@ -15,12 +15,16 @@ use crate::scenario::run_scenario_once_ctl;
 use crate::sim::RunResult;
 use df_workload::{SweepCell, SweepSpec};
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One row of the long-format sweep table: the cell's axis coordinates,
 /// the seed, and one measurement scope — `"network"` for the whole
 /// machine or a job's name for its per-job slice.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Rows round-trip through JSON (`Deserialize`) so a service layer can
+/// checkpoint them per `(cell, seed)` unit and replay verified rows
+/// after a crash without rerunning the simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepRow {
     /// Cell index in expansion order.
     pub cell: u32,
@@ -60,8 +64,13 @@ pub struct SweepRow {
     /// Minimum per-unit injection count (per router for network rows,
     /// per node for job rows — the paper's Min inj).
     pub min_injections: f64,
-    /// Injection max/min ratio over the same units.
-    pub max_min_ratio: f64,
+    /// Injection max/min ratio over the same units; `None` when the
+    /// minimum is zero (the ratio is unbounded). An `Option` rather
+    /// than `f64::INFINITY` so a row survives a JSON round trip
+    /// byte-identically — JSON has no non-finite literals, and the
+    /// checkpoint/recovery path re-verifies rows by re-serializing
+    /// them.
+    pub max_min_ratio: Option<f64>,
     /// Injection coefficient of variation (Tables II/III).
     pub cov: f64,
     /// Jain fairness index over the same units.
@@ -123,7 +132,8 @@ impl SweepTable {
                 r.active_cycles,
                 r.delivered_packets,
                 r.min_injections,
-                r.max_min_ratio,
+                // An unbounded ratio keeps its historical CSV spelling.
+                r.max_min_ratio.map(|x| x.to_string()).unwrap_or_else(|| "inf".into()),
                 r.cov,
                 r.jain,
             ));
@@ -134,6 +144,7 @@ impl SweepTable {
 
 /// Flatten one cell × seed run into its long-format rows.
 fn rows_of(cell: &SweepCell, seed: u64, run: &RunResult) -> Vec<SweepRow> {
+    let finite = |x: f64| x.is_finite().then_some(x);
     let placement = cell.placement.clone().unwrap_or_else(|| "base".into());
     let pattern = cell.pattern.clone().unwrap_or_else(|| "base".into());
     let load = cell.load.unwrap_or(run.load);
@@ -156,7 +167,7 @@ fn rows_of(cell: &SweepCell, seed: u64, run: &RunResult) -> Vec<SweepRow> {
         active_cycles: cell.scenario.measure_cycles,
         delivered_packets: run.delivered_packets,
         min_injections: run.fairness.min,
-        max_min_ratio: run.fairness.max_min_ratio,
+        max_min_ratio: finite(run.fairness.max_min_ratio),
         cov: run.fairness.cov,
         jain: run.fairness.jain,
     });
@@ -179,7 +190,7 @@ fn rows_of(cell: &SweepCell, seed: u64, run: &RunResult) -> Vec<SweepRow> {
             active_cycles: job.active_cycles,
             delivered_packets: job.delivered_packets,
             min_injections: job.fairness.min,
-            max_min_ratio: job.fairness.max_min_ratio,
+            max_min_ratio: finite(job.fairness.max_min_ratio),
             cov: job.fairness.cov,
             jain: job.fairness.jain,
         });
@@ -204,6 +215,56 @@ pub fn run_sweep_ctl(
     seeds: &[u64],
     ctl: &RunCtl<'_>,
 ) -> Result<SweepTable, ScenarioError> {
+    run_sweep_hooked(spec, seeds, ctl, &SweepHooks::NONE)
+}
+
+/// A [`SweepHooks::precomputed`] probe: given a `(cell, seed)` unit,
+/// return its already-computed rows (skipping the simulation) or
+/// `None` to compute it fresh.
+pub type PrecomputedProbe<'a> = &'a (dyn Fn(u32, u64) -> Option<Vec<SweepRow>> + Sync);
+
+/// A [`SweepHooks::on_rows`] observer: called with each freshly
+/// computed `(cell, seed)` unit's rows as the unit completes.
+pub type RowsObserver<'a> = &'a (dyn Fn(u32, u64, &[SweepRow]) + Sync);
+
+/// Observation hooks threaded through [`run_sweep_hooked`]. Both hooks
+/// see `(cell, seed)` units — one `run_scenario_once` per unit — keyed
+/// by the cell's expansion-order index.
+#[derive(Clone, Copy, Default)]
+pub struct SweepHooks<'a> {
+    /// Probe for rows of a unit computed by an earlier (interrupted)
+    /// run. Probed once per unit, sequentially, before any simulation
+    /// starts; returning `Some(rows)` skips the unit entirely and
+    /// splices the given rows into the unit's slot of the final table.
+    /// The caller is responsible for only returning rows it has
+    /// verified (e.g. digest-checked checkpoint lines).
+    pub precomputed: Option<PrecomputedProbe<'a>>,
+    /// Called from the computing worker as each pending unit completes,
+    /// with the unit's finished rows — before the whole table exists.
+    /// Units recovered via `precomputed` do **not** fire this hook.
+    /// Must be cheap and `Sync`: parallel workers call it inline.
+    pub on_rows: Option<RowsObserver<'a>>,
+}
+
+impl SweepHooks<'_> {
+    /// No hooks: every unit simulates, nothing is observed.
+    pub const NONE: SweepHooks<'static> = SweepHooks { precomputed: None, on_rows: None };
+}
+
+/// [`run_sweep_ctl`] with per-unit observation hooks: previously
+/// computed units are recovered through `hooks.precomputed` (skipping
+/// their simulation), and each freshly computed unit's rows are handed
+/// to `hooks.on_rows` as it completes. Row order — and therefore the
+/// serialized table — is the same deterministic cell-major order as
+/// [`run_sweep`], no matter which units were recovered: recovered and
+/// computed rows are merged by unit slot, so a resumed sweep
+/// serializes bit-identically to an uninterrupted one.
+pub fn run_sweep_hooked(
+    spec: &SweepSpec,
+    seeds: &[u64],
+    ctl: &RunCtl<'_>,
+    hooks: &SweepHooks<'_>,
+) -> Result<SweepTable, ScenarioError> {
     if seeds.is_empty() {
         return Err(ScenarioError::spec("need at least one seed"));
     }
@@ -211,18 +272,39 @@ pub fn run_sweep_ctl(
     let units: Vec<(usize, u64)> = (0..cells.len())
         .flat_map(|c| seeds.iter().map(move |&s| (c, s)))
         .collect();
-    let runs: Vec<Result<Vec<SweepRow>, ScenarioError>> = units
+    // Recovered units fill their slots up front and never simulate.
+    let mut slots: Vec<Option<Vec<SweepRow>>> = (0..units.len()).map(|_| None).collect();
+    if let Some(probe) = hooks.precomputed {
+        for (slot, &(c, seed)) in units.iter().enumerate() {
+            slots[slot] = probe(c as u32, seed);
+        }
+    }
+    let pending: Vec<(usize, usize, u64)> = units
+        .iter()
+        .enumerate()
+        .filter(|(slot, _)| slots[*slot].is_none())
+        .map(|(slot, &(c, seed))| (slot, c, seed))
+        .collect();
+    let on_rows = hooks.on_rows;
+    let runs: Vec<(usize, Result<Vec<SweepRow>, ScenarioError>)> = pending
         .par_iter()
-        .map(|&(c, seed)| {
+        .map(|&(slot, c, seed)| {
             let cell = &cells[c];
-            run_scenario_once_ctl(&cell.scenario, cell.mechanism, seed, ctl)
+            let res = run_scenario_once_ctl(&cell.scenario, cell.mechanism, seed, ctl)
                 .map(|run| rows_of(cell, seed, &run))
-                .map_err(|e| e.context(&format!("cell {c} ({})", cell.mechanism.label())))
+                .map_err(|e| e.context(&format!("cell {c} ({})", cell.mechanism.label())));
+            if let (Ok(rows), Some(sink)) = (&res, on_rows) {
+                sink(c as u32, seed, rows);
+            }
+            (slot, res)
         })
         .collect();
+    for (slot, unit) in runs {
+        slots[slot] = Some(unit?);
+    }
     let mut rows = Vec::new();
-    for unit in runs {
-        rows.extend(unit?);
+    for slot in slots {
+        rows.extend(slot.expect("every unit slot filled"));
     }
     Ok(SweepTable {
         sweep: spec.name.clone(),
@@ -320,6 +402,56 @@ mod tests {
             assert_eq!(line.split(',').count(), header_cols, "{line}");
         }
         assert!(lines[1].starts_with("0,In-Trns-MM,0.15,base,base,3,network,72,"));
+    }
+
+    #[test]
+    fn hooked_run_streams_rows_and_recovery_is_bit_identical() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        let spec = tiny_sweep();
+        let seeds = [1u64, 2];
+
+        // A hooked run streams every unit exactly once.
+        let streamed: Mutex<HashMap<(u32, u64), Vec<SweepRow>>> = Mutex::new(HashMap::new());
+        let on_rows = |cell: u32, seed: u64, rows: &[SweepRow]| {
+            let prev = streamed.lock().unwrap().insert((cell, seed), rows.to_vec());
+            assert!(prev.is_none(), "unit ({cell}, {seed}) streamed twice");
+        };
+        let hooks = SweepHooks { precomputed: None, on_rows: Some(&on_rows) };
+        let full = run_sweep_hooked(&spec, &seeds, &RunCtl::NONE, &hooks).unwrap();
+        let streamed = streamed.into_inner().unwrap();
+        assert_eq!(streamed.len(), 4 * 2, "4 cells × 2 seeds");
+        assert_eq!(
+            serde_json::to_string(&full).unwrap(),
+            serde_json::to_string(&run_sweep(&spec, &seeds).unwrap()).unwrap(),
+            "hooks must not perturb the table"
+        );
+
+        // Recovering half the units from the streamed rows reproduces the
+        // table bit-identically, simulating only the missing units.
+        let recomputed = Mutex::new(0u32);
+        let probe = |cell: u32, seed: u64| -> Option<Vec<SweepRow>> {
+            cell.is_multiple_of(2).then(|| streamed[&(cell, seed)].clone())
+        };
+        let count = |_: u32, _: u64, _: &[SweepRow]| *recomputed.lock().unwrap() += 1;
+        let hooks = SweepHooks { precomputed: Some(&probe), on_rows: Some(&count) };
+        let resumed = run_sweep_hooked(&spec, &seeds, &RunCtl::NONE, &hooks).unwrap();
+        assert_eq!(*recomputed.lock().unwrap(), 2 * 2, "only the odd cells recompute");
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&full).unwrap(),
+            "recovered table must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn sweep_rows_roundtrip_through_json() {
+        let table = run_sweep(&tiny_sweep(), &[3]).unwrap();
+        for row in &table.rows {
+            let line = serde_json::to_string(row).unwrap();
+            let back: SweepRow = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, row);
+        }
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! caller recomputes instead of serving bad bytes.
 
 use crate::protocol::digest_hex;
+use crate::store::{LoadReport, StateDir};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A cached result document and the digest it must hash to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,20 +41,52 @@ struct CacheInner {
     order: VecDeque<String>,
 }
 
-/// A bounded, thread-safe result cache with digest-checked reads.
+/// A bounded, thread-safe result cache with digest-checked reads,
+/// optionally backed by a [`StateDir`] that spills every insertion to
+/// disk and reloads verified entries at startup.
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    state: Option<Arc<StateDir>>,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` entries (oldest evicted
-    /// first). `capacity` 0 disables caching: every probe misses.
+    /// A memory-only cache holding at most `capacity` entries (oldest
+    /// evicted first). `capacity` 0 disables caching: every probe
+    /// misses.
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
             capacity,
+            state: None,
         }
+    }
+
+    /// A durable cache backed by `state`: the startup scan loads every
+    /// verified spill file (in file-name order, up to `capacity`) and
+    /// quarantines the rest; thereafter every insertion spills
+    /// tempfile-then-rename, and evictions delete their spill files.
+    /// Returns the cache and the scan's [`LoadReport`] so the server
+    /// can surface what it recovered (and emit `cache_corrupt` for
+    /// every quarantined file).
+    pub fn with_state(capacity: usize, state: Arc<StateDir>) -> (Self, LoadReport) {
+        let cache = Self {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity,
+            state: Some(state),
+        };
+        let report = match &cache.state {
+            Some(st) => st.load_cache(),
+            None => unreachable!(),
+        };
+        if cache.capacity > 0 {
+            let mut inner = cache.inner.lock().expect("cache lock");
+            for (key, entry) in report.entries.iter().take(cache.capacity) {
+                inner.order.push_back(key.clone());
+                inner.map.insert(key.clone(), entry.clone());
+            }
+        }
+        (cache, report)
     }
 
     /// Probe `key`, re-verifying the stored digest.
@@ -67,16 +100,29 @@ impl ResultCache {
         } else {
             inner.map.remove(key);
             inner.order.retain(|k| k != key);
+            if let Some(state) = &self.state {
+                // The spill file backs the rotted memory entry; drop it
+                // too so a restart cannot resurrect bad bytes (the
+                // startup scan would quarantine them anyway).
+                state.unspill(key);
+            }
             Lookup::Corrupt
         }
     }
 
     /// Store `result` under `key`, returning its digest. Replaces any
-    /// previous entry; evicts the oldest entry at capacity.
+    /// previous entry; evicts the oldest entry at capacity. When
+    /// state-backed, the entry is spilled tempfile-then-rename before
+    /// it becomes visible, and evicted entries lose their spill files;
+    /// a spill I/O failure degrades the entry to memory-only.
     pub fn insert(&self, key: &str, result: String) -> String {
         let digest = digest_hex(result.as_bytes());
         if self.capacity == 0 {
             return digest;
+        }
+        let entry = CacheEntry { result, digest: digest.clone() };
+        if let Some(state) = &self.state {
+            let _ = state.spill(key, &entry);
         }
         let mut inner = self.inner.lock().expect("cache lock");
         if inner.map.remove(key).is_some() {
@@ -85,17 +131,25 @@ impl ResultCache {
         while inner.map.len() >= self.capacity {
             let Some(oldest) = inner.order.pop_front() else { break };
             inner.map.remove(&oldest);
+            if let Some(state) = &self.state {
+                state.unspill(&oldest);
+            }
         }
         inner.order.push_back(key.to_string());
-        inner.map.insert(key.to_string(), CacheEntry { result, digest: digest.clone() });
+        inner.map.insert(key.to_string(), entry);
         digest
     }
 
     /// Fault-injection hook: flip a byte of the entry stored under
     /// `key` *without* updating its digest, so the next lookup detects
-    /// the corruption. Returns `false` if the key is absent.
+    /// the corruption. When state-backed, the key's spill file is
+    /// rotted the same way, so a restart's startup scan must quarantine
+    /// it. Returns `false` if the key is absent.
     pub fn corrupt(&self, key: &str) -> bool {
         let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(state) = &self.state {
+            state.rot_entry(key);
+        }
         let Some(entry) = inner.map.get_mut(key) else {
             return false;
         };
@@ -165,6 +219,47 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.insert("d", "4".into());
         assert_eq!(cache.lookup("c"), Lookup::Miss, "c was oldest after b refresh");
+    }
+
+    #[test]
+    fn state_backed_cache_survives_a_restart_and_evicts_spill_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("df-cache-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = Arc::new(StateDir::open(&dir).unwrap());
+
+        let (cache, report) = ResultCache::with_state(2, Arc::clone(&state));
+        assert!(report.entries.is_empty() && report.quarantined.is_empty());
+        cache.insert("a", "result-a".into());
+        cache.insert("b", "result-b".into());
+
+        // "Restart": a fresh cache on the same dir reloads both entries.
+        let (cache2, report2) = ResultCache::with_state(2, Arc::clone(&state));
+        assert_eq!(report2.entries.len(), 2);
+        match cache2.lookup("a") {
+            Lookup::Hit(e) => assert_eq!(e.result, "result-a"),
+            other => panic!("expected hit after reload, got {other:?}"),
+        }
+
+        // Eviction removes the spill file: the next restart only sees
+        // the survivors.
+        cache2.insert("c", "result-c".into()); // evicts the oldest
+        let (_, report3) = ResultCache::with_state(2, Arc::clone(&state));
+        assert_eq!(report3.entries.len(), 2);
+        assert!(report3.entries.iter().all(|(k, _)| k != "a"), "{report3:?}");
+
+        // Rot one entry on disk and in memory: a restart quarantines
+        // the rotted file instead of loading it, so the key misses and
+        // recomputes rather than serving bad bytes.
+        assert!(cache2.corrupt("b"));
+        let (cache4, report4) = ResultCache::with_state(2, Arc::clone(&state));
+        assert_eq!(report4.entries.len(), 1);
+        assert_eq!(report4.quarantined.len(), 1);
+        assert_eq!(cache4.lookup("b"), Lookup::Miss);
+        // And the live probe on the pre-restart cache detects it too,
+        // dropping the (already-quarantined) disk state.
+        assert_eq!(cache2.lookup("b"), Lookup::Corrupt);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -28,9 +28,32 @@ pub struct FaultSpec {
     /// Stall duration in milliseconds (default 100).
     pub stall_ms: Option<u64>,
     /// After the job's result lands in the cache, flip a byte of the
-    /// stored entry, so the *next* submission of the same key exercises
-    /// the digest check and recompute path.
+    /// stored entry (and of its spill file when the service is
+    /// state-backed), so the *next* submission of the same key — or the
+    /// next restart's startup scan — exercises the digest check and
+    /// recompute path.
     pub corrupt_cache: Option<bool>,
+    /// Kill the whole process (`abort`, the `kill -9` equivalent) right
+    /// after the Nth `(cell, seed)` sweep unit commits to the
+    /// checkpoint file. The restart harness in ci.sh uses this to die
+    /// mid-sweep deterministically.
+    pub crash_after_cells: Option<u32>,
+    /// Cooperatively cancel the job right after the Nth sweep unit
+    /// commits — the in-process stand-in for `crash_after_cells`, so
+    /// restart-shaped integration tests can exercise checkpoint
+    /// recovery without killing the test binary. At least N units are
+    /// durable when the `cancelled` event lands (parallel units already
+    /// past their last checkpoint may still commit).
+    pub cancel_after_cells: Option<u32>,
+    /// Kill the process between a completed result's tempfile write and
+    /// its rename into the cache — the torn-spill crash point. The
+    /// restart must treat the result as never promised: the `.tmp`
+    /// debris is deleted and the key recomputes.
+    pub crash_mid_spill: Option<bool>,
+    /// Flip a byte of the checkpoint line whose 1-based commit ordinal
+    /// (within this job) equals N, right after it is appended. Recovery
+    /// must drop exactly that line's unit and recompute it.
+    pub rot_checkpoint_line: Option<u32>,
 }
 
 impl FaultSpec {
@@ -49,6 +72,27 @@ impl FaultSpec {
     /// Should the cache entry be corrupted after a completed run?
     pub fn corrupts_cache(&self) -> bool {
         self.corrupt_cache.unwrap_or(false)
+    }
+
+    /// Abort the process after this many sweep-unit commits, if set.
+    pub fn crash_after(&self) -> Option<u32> {
+        self.crash_after_cells
+    }
+
+    /// Cancel the job after this many sweep-unit commits, if set.
+    pub fn cancel_after(&self) -> Option<u32> {
+        self.cancel_after_cells
+    }
+
+    /// Should the process die between spill write and rename?
+    pub fn crashes_mid_spill(&self) -> bool {
+        self.crash_mid_spill.unwrap_or(false)
+    }
+
+    /// The 1-based commit ordinal whose checkpoint line gets rotted,
+    /// if set.
+    pub fn rot_line(&self) -> Option<u32> {
+        self.rot_checkpoint_line
     }
 }
 
@@ -84,9 +128,24 @@ mod tests {
         let f: FaultSpec = serde_json::from_str("{}").unwrap();
         assert_eq!(f, FaultSpec::default());
         assert!(!f.corrupts_cache());
+        assert!(!f.crashes_mid_spill());
+        assert_eq!((f.crash_after(), f.cancel_after(), f.rot_line()), (None, None, None));
         let g: FaultSpec =
             serde_json::from_str(r#"{"panic_at_cycle": 12, "corrupt_cache": true}"#).unwrap();
         assert_eq!(g.panic_cycle(1), Some(12));
         assert!(g.corrupts_cache());
+    }
+
+    #[test]
+    fn crash_point_fields_roundtrip_from_json() {
+        let f: FaultSpec = serde_json::from_str(
+            r#"{"crash_after_cells": 3, "cancel_after_cells": 2,
+                "crash_mid_spill": true, "rot_checkpoint_line": 1}"#,
+        )
+        .unwrap();
+        assert_eq!(f.crash_after(), Some(3));
+        assert_eq!(f.cancel_after(), Some(2));
+        assert!(f.crashes_mid_spill());
+        assert_eq!(f.rot_line(), Some(1));
     }
 }

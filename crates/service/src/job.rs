@@ -8,7 +8,7 @@
 //! and replayed on a cache hit.
 
 use dragonfly_core::{
-    run_scenario_ctl, run_sweep_ctl, RunCtl, ScenarioError, DEFAULT_SEEDS,
+    run_scenario_ctl, run_sweep_hooked, RunCtl, ScenarioError, SweepHooks, DEFAULT_SEEDS,
 };
 use df_workload::{ScenarioSpec, SweepSpec};
 
@@ -89,17 +89,45 @@ impl JobPayload {
     /// table, pretty-printed. Byte-identical across runs of the same
     /// key per the determinism contract.
     pub fn execute(&self, seeds: &[u64], ctl: &RunCtl<'_>) -> Result<String, ScenarioError> {
+        self.execute_hooked(seeds, ctl, &SweepHooks::NONE)
+    }
+
+    /// [`JobPayload::execute`] with sweep observation hooks: a sweep
+    /// payload recovers `(cell, seed)` units through `hooks.precomputed`
+    /// and streams each freshly computed unit's rows through
+    /// `hooks.on_rows`; scenario payloads ignore the hooks. The result
+    /// document is byte-identical whether or not units were recovered —
+    /// rows merge in deterministic cell-major order.
+    pub fn execute_hooked(
+        &self,
+        seeds: &[u64],
+        ctl: &RunCtl<'_>,
+        hooks: &SweepHooks<'_>,
+    ) -> Result<String, ScenarioError> {
         let doc = match self {
             JobPayload::Scenario(s) => {
                 let result = run_scenario_ctl(s, seeds, ctl)?;
                 serde_json::to_string_pretty(&result.summary())
             }
             JobPayload::Sweep(s) => {
-                let table = run_sweep_ctl(s, seeds, ctl)?;
+                let table = run_sweep_hooked(s, seeds, ctl, hooks)?;
                 serde_json::to_string_pretty(&table)
             }
         };
         doc.map_err(|e| ScenarioError::spec(format!("result serialization: {e}")))
+    }
+
+    /// Number of `(cell, seed)` units the payload runs: the sweep grid
+    /// times the seed list (scenarios count mechanism × seed runs).
+    /// This is the `cells_total` of `recovered` events.
+    pub fn total_units(&self, seeds: &[u64]) -> u64 {
+        let n_seeds = seeds.len() as u64;
+        match self {
+            JobPayload::Scenario(s) => s.mechanisms.len() as u64 * n_seeds,
+            JobPayload::Sweep(s) => {
+                s.expand().map(|cells| cells.len() as u64).unwrap_or(0) * n_seeds
+            }
+        }
     }
 }
 
@@ -167,6 +195,68 @@ mod tests {
         let b = p.execute(&[7], &RunCtl::NONE).unwrap();
         assert_eq!(a, b);
         assert!(a.contains("svc-tiny"));
+    }
+
+    /// The cache-key satellite: the key hashes the *canonical*
+    /// serialization of the parsed spec, never the client's raw bytes —
+    /// so whitespace and key-order variants of the same spec share a
+    /// key and hit each other's cache entries.
+    #[test]
+    fn spec_json_is_canonical_across_client_formattings() {
+        use crate::protocol::cache_key;
+        // The same two-field job spec in three client formattings:
+        // compact, pretty-printed, and with its keys in a different
+        // order (field-order-insensitive deserialization).
+        let compact = r#"{"name":"fmt","params":{"p":3,"a":6,"h":3},"arrangement":"Palmtree","mechanisms":["in-transit-mm"],"arbiter":"TransitPriority","warmup_cycles":100,"measure_cycles":200,"jobs":[{"name":"app","placement":{"placement":"consecutive_groups","first":0,"count":2},"pattern":{"pattern":"uniform"},"injection":{"process":"bernoulli"},"load":0.2}]}"#;
+        let pretty = r#"{
+            "name": "fmt",
+            "params": { "p": 3, "a": 6, "h": 3 },
+            "arrangement": "Palmtree",
+            "mechanisms": [ "in-transit-mm" ],
+            "arbiter": "TransitPriority",
+            "warmup_cycles": 100,
+            "measure_cycles": 200,
+            "jobs": [ {
+                "name": "app",
+                "placement": { "placement": "consecutive_groups", "first": 0, "count": 2 },
+                "pattern": { "pattern": "uniform" },
+                "injection": { "process": "bernoulli" },
+                "load": 0.2
+            } ]
+        }"#;
+        let reordered = r#"{
+            "jobs": [ {
+                "load": 0.2,
+                "injection": { "process": "bernoulli" },
+                "pattern": { "pattern": "uniform" },
+                "placement": { "count": 2, "first": 0, "placement": "consecutive_groups" },
+                "name": "app"
+            } ],
+            "measure_cycles": 200,
+            "warmup_cycles": 100,
+            "arbiter": "TransitPriority",
+            "mechanisms": [ "in-transit-mm" ],
+            "arrangement": "Palmtree",
+            "params": { "h": 3, "a": 6, "p": 3 },
+            "name": "fmt"
+        }"#;
+        let keys: Vec<String> = [compact, pretty, reordered]
+            .iter()
+            .map(|text| {
+                let spec: ScenarioSpec = serde_json::from_str(text).unwrap();
+                let payload = JobPayload::Scenario(spec);
+                cache_key(payload.kind(), &payload.spec_json().unwrap(), &[1, 2])
+            })
+            .collect();
+        assert_eq!(keys[0], keys[1], "whitespace must not change the key");
+        assert_eq!(keys[0], keys[2], "key order must not change the key");
+    }
+
+    #[test]
+    fn total_units_counts_the_grid() {
+        let p = JobPayload::Scenario(tiny_scenario());
+        // 1 mechanism × 2 seeds.
+        assert_eq!(p.total_units(&[1, 2]), 2);
     }
 
     #[test]

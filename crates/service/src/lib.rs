@@ -18,11 +18,20 @@
 //! digest-checked so bit rot is detected and recomputed rather than
 //! served.
 //!
+//! With a `state_dir` configured the service is also *durable*: every
+//! completed result spills to disk tempfile-then-rename and reloads
+//! (digest-verified) after a restart, and in-flight sweeps checkpoint
+//! each `(cell, seed)` unit so a crashed job resumes from the last
+//! committed unit instead of starting over — with the recovered table
+//! byte-identical to an uninterrupted run.
+//!
 //! Every robustness claim is exercised by the [`FaultSpec`] injection
 //! harness: a worker panic at cycle N, an artificial stall past the
-//! deadline, and a corrupted cache entry. See `docs/SERVICE.md` for the
-//! wire protocol and event schema, and the `df-serve` / `df-submit`
-//! binaries in `df-bench` for the CLI surface.
+//! deadline, a corrupted cache entry, and the crash points (`abort`
+//! after N checkpoint commits, a torn spill, a rotted checkpoint
+//! line). See `docs/SERVICE.md` for the wire protocol and event
+//! schema, and the `df-serve` / `df-submit` binaries in `df-bench` for
+//! the CLI surface.
 
 #![warn(missing_docs)]
 
@@ -32,6 +41,7 @@ pub mod job;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod store;
 mod worker;
 
 pub use cache::{CacheEntry, Lookup, ResultCache};
@@ -40,4 +50,5 @@ pub use job::{effective_seeds, JobPayload};
 pub use protocol::{cache_key, digest_hex, fnv1a64, JobEvent, Request, SubmitOptions};
 pub use server::serve;
 pub use service::{EventSink, Service, ServiceConfig};
+pub use store::{CheckpointLoad, LoadReport, StateDir};
 pub use worker::SubmitError;

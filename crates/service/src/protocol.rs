@@ -12,6 +12,7 @@
 
 use crate::fault::FaultSpec;
 use df_workload::{ScenarioSpec, SweepSpec};
+use dragonfly_core::SweepRow;
 use serde::{Deserialize, Serialize};
 
 /// One client request line.
@@ -131,6 +132,36 @@ pub enum JobEvent {
         /// Total cycles the job will simulate (cells × seeds × protocol).
         total_cycles: u64,
     },
+    /// Checkpointed rows from an earlier interrupted run of this key
+    /// were verified (digest-checked per line) and will be reused: only
+    /// the remaining units recompute. Non-terminal; sweep submissions
+    /// on a state-backed server only.
+    Recovered {
+        /// Job id.
+        job: u64,
+        /// The cache key whose checkpoint was recovered.
+        key: String,
+        /// `(cell, seed)` units recovered from the checkpoint.
+        cells_done: u64,
+        /// Total `(cell, seed)` units in the sweep grid.
+        cells_total: u64,
+    },
+    /// One sweep `(cell, seed)` unit finished: its long-format rows
+    /// stream here as cells complete, before the final table exists.
+    /// Non-terminal; sweep submissions only. Units recovered from a
+    /// checkpoint do *not* re-emit their rows — count these events to
+    /// measure how much of a resumed sweep actually recomputed.
+    SweepRows {
+        /// Job id.
+        job: u64,
+        /// Cell index in expansion order.
+        cell: u32,
+        /// Master seed of the unit.
+        seed: u64,
+        /// The unit's rows, in the same order they hold in the final
+        /// table (network scope first, then jobs in spec order).
+        rows: Vec<SweepRow>,
+    },
     /// The attempt died to a panic and the job will re-run after a
     /// capped exponential backoff. Non-terminal.
     Retried {
@@ -209,6 +240,8 @@ impl JobEvent {
             | JobEvent::CacheCorrupt { job, .. }
             | JobEvent::Started { job, .. }
             | JobEvent::Progress { job, .. }
+            | JobEvent::Recovered { job, .. }
+            | JobEvent::SweepRows { job, .. }
             | JobEvent::Retried { job, .. }
             | JobEvent::Completed { job, .. }
             | JobEvent::TimedOut { job, .. }
@@ -244,6 +277,8 @@ impl JobEvent {
             JobEvent::CacheCorrupt { .. } => "cache_corrupt",
             JobEvent::Started { .. } => "started",
             JobEvent::Progress { .. } => "progress",
+            JobEvent::Recovered { .. } => "recovered",
+            JobEvent::SweepRows { .. } => "sweep_rows",
             JobEvent::Retried { .. } => "retried",
             JobEvent::Completed { .. } => "completed",
             JobEvent::TimedOut { .. } => "timed_out",
@@ -327,6 +362,8 @@ mod tests {
             JobEvent::Accepted { job: 3, key: "k".into(), queue_depth: 2 },
             JobEvent::RejectedOverload { job: 4, queued: 8, limit: 8 },
             JobEvent::Progress { job: 3, done_cycles: 1000, total_cycles: 9000 },
+            JobEvent::Recovered { job: 3, key: "k".into(), cells_done: 5, cells_total: 8 },
+            JobEvent::SweepRows { job: 3, cell: 2, seed: 7, rows: vec![] },
             JobEvent::Retried { job: 3, attempt: 1, backoff_ms: 5, error: "boom".into() },
             JobEvent::Completed {
                 job: 3,
@@ -353,6 +390,17 @@ mod tests {
         let p = JobEvent::Progress { job: 1, done_cycles: 0, total_cycles: 1 };
         assert!(!p.is_terminal());
         assert_eq!(JobEvent::Pong.job(), None);
+        // The streaming/recovery events belong to their job but never
+        // end its stream.
+        let r = JobEvent::Recovered { job: 2, key: "k".into(), cells_done: 1, cells_total: 4 };
+        assert!(!r.is_terminal());
+        assert_eq!(r.job(), Some(2));
+        assert_eq!(r.label(), "recovered");
+        let s = JobEvent::SweepRows { job: 2, cell: 0, seed: 1, rows: vec![] };
+        assert!(!s.is_terminal());
+        assert_eq!(s.job(), Some(2));
+        let line = serde_json::to_string(&s).unwrap();
+        assert!(line.contains("\"event\":\"sweep_rows\""), "{line}");
     }
 
     #[test]

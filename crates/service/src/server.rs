@@ -30,8 +30,15 @@ pub fn serve(
     event_log: Option<&Path>,
 ) -> std::io::Result<()> {
     // A stale socket file from a killed predecessor would make bind
-    // fail; binding is the liveness check, not the file's existence.
+    // fail — but blindly unlinking would hijack a *live* server's
+    // socket. Probe first: only an unanswered socket file is stale.
     if socket.exists() {
+        if UnixStream::connect(socket).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("{} already serves a live df-service", socket.display()),
+            ));
+        }
         std::fs::remove_file(socket)?;
     }
     let listener = UnixListener::bind(socket)?;
@@ -41,6 +48,16 @@ pub fn serve(
         ))),
         None => None,
     };
+    // Surface what the startup scan quarantined: one `cache_corrupt`
+    // line per bad spill file, in the log before any client events.
+    if let Some(log) = &log {
+        let mut f = log.lock().expect("event log lock");
+        for event in service.startup_events() {
+            if let Ok(line) = serde_json::to_string(&event) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
     let shutting_down = Arc::new(AtomicBool::new(false));
     let socket_path: PathBuf = socket.to_path_buf();
 
@@ -184,6 +201,46 @@ mod tests {
             serde_json::from_str::<JobEvent>(&line).unwrap(),
             JobEvent::ShuttingDown { drained: 0 }
         );
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    /// The stale-socket satellite: a dead predecessor's socket file is
+    /// reclaimed, but a *live* server's socket is refused instead of
+    /// hijacked.
+    #[test]
+    fn stale_socket_is_reclaimed_but_a_live_one_is_refused() {
+        let socket =
+            std::env::temp_dir().join(format!("df-service-stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        // Simulate a killed predecessor: a socket file with no listener
+        // behind it. Connect fails, so serve unlinks and binds.
+        drop(UnixListener::bind(&socket).unwrap());
+        assert!(socket.exists());
+        let service = Arc::new(Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        }));
+        let server = {
+            let socket = socket.clone();
+            std::thread::spawn(move || serve(service, &socket, None))
+        };
+        let mut client = loop {
+            match UnixStream::connect(&socket) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        // A second server against the now-live socket must refuse.
+        let rival = Arc::new(Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        }));
+        let err = serve(rival, &socket, None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        writeln!(client, "{}", serde_json::to_string(&Request::Shutdown).unwrap()).unwrap();
+        let mut line = String::new();
+        BufReader::new(client).read_line(&mut line).unwrap();
         server.join().unwrap().unwrap();
         let _ = std::fs::remove_file(&socket);
     }

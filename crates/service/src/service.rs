@@ -24,11 +24,13 @@ use crate::cache::{Lookup, ResultCache};
 use crate::fault::FaultSpec;
 use crate::job::{effective_seeds, JobPayload};
 use crate::protocol::{cache_key, JobEvent, SubmitOptions};
+use crate::store::{LoadReport, StateDir};
 use crate::worker::{SubmitError, WorkerPool};
-use dragonfly_core::{CancelToken, RunCtl, ScenarioError};
+use dragonfly_core::{CancelToken, RunCtl, ScenarioError, SweepHooks, SweepRow};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -38,7 +40,7 @@ use std::time::{Duration, Instant};
 pub type EventSink = Arc<dyn Fn(JobEvent) + Send + Sync>;
 
 /// Service tuning knobs (all have serviceable defaults).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
@@ -57,6 +59,12 @@ pub struct ServiceConfig {
     /// (0 picks the default, which matches the telemetry timelines'
     /// 1000-cycle windows).
     pub progress_cycles: u64,
+    /// Durable state directory (`None` keeps everything in memory).
+    /// When set, completed results spill tempfile-then-rename under
+    /// `<dir>/cache/`, sweep units checkpoint under
+    /// `<dir>/checkpoints/`, and startup reloads every verified entry —
+    /// so a `kill -9` loses at most the units in flight.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +77,7 @@ impl Default for ServiceConfig {
             retry_backoff_ms: 5,
             retry_backoff_cap_ms: 80,
             progress_cycles: 0,
+            state_dir: None,
         }
     }
 }
@@ -90,6 +99,8 @@ pub struct Service {
     cfg: ServiceConfig,
     pool: WorkerPool,
     cache: Arc<ResultCache>,
+    state: Option<Arc<StateDir>>,
+    startup: LoadReport,
     next_job: AtomicU64,
     /// Cancel tokens of queued + running jobs, by job id.
     registry: Arc<Mutex<HashMap<u64, CancelToken>>>,
@@ -97,14 +108,57 @@ pub struct Service {
 
 impl Service {
     /// Start a service with `cfg`'s worker pool and cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.state_dir` is set but cannot be created — use
+    /// [`Service::open`] to handle the I/O error instead.
     pub fn new(cfg: ServiceConfig) -> Self {
-        Self {
+        Self::open(cfg).expect("open service state dir")
+    }
+
+    /// [`Service::new`], surfacing state-directory I/O errors. With a
+    /// `state_dir` configured, the startup scan reloads every verified
+    /// persisted result (and quarantines corrupt files) before the
+    /// first submission can probe the cache; the scan's findings are
+    /// available via [`Service::startup_report`].
+    pub fn open(cfg: ServiceConfig) -> std::io::Result<Self> {
+        let (cache, state, startup) = match &cfg.state_dir {
+            Some(dir) => {
+                let state = Arc::new(StateDir::open(dir)?);
+                let (cache, report) =
+                    ResultCache::with_state(cfg.cache_capacity, Arc::clone(&state));
+                (cache, Some(state), report)
+            }
+            None => (ResultCache::new(cfg.cache_capacity), None, LoadReport::default()),
+        };
+        let (workers, queue_depth) = (cfg.workers, cfg.queue_depth);
+        Ok(Self {
             cfg,
-            pool: WorkerPool::new(cfg.workers, cfg.queue_depth),
-            cache: Arc::new(ResultCache::new(cfg.cache_capacity)),
+            pool: WorkerPool::new(workers, queue_depth),
+            cache: Arc::new(cache),
+            state,
+            startup,
             next_job: AtomicU64::new(0),
             registry: Arc::new(Mutex::new(HashMap::new())),
-        }
+        })
+    }
+
+    /// What the startup scan of the state directory found (empty when
+    /// the service runs memory-only).
+    pub fn startup_report(&self) -> &LoadReport {
+        &self.startup
+    }
+
+    /// Server-level events describing the startup scan: one
+    /// `cache_corrupt` per quarantined file, under the reserved job
+    /// id 0 (submissions number from 1).
+    pub fn startup_events(&self) -> Vec<JobEvent> {
+        self.startup
+            .quarantined
+            .iter()
+            .map(|name| JobEvent::CacheCorrupt { job: 0, key: name.clone() })
+            .collect()
     }
 
     /// Submit a job. Returns the job id; every outcome — including
@@ -129,6 +183,11 @@ impl Service {
 
         match self.cache.lookup(&key) {
             Lookup::Hit(entry) => {
+                if let Some(state) = &self.state {
+                    // A completed result supersedes any checkpoint a
+                    // crashed earlier run of this key left behind.
+                    state.remove_checkpoint(&key);
+                }
                 sink(JobEvent::Cached { job, key, digest: entry.digest, result: entry.result });
                 return job;
             }
@@ -142,8 +201,9 @@ impl Service {
         self.registry.lock().expect("registry lock").insert(job, token.clone());
 
         let ctx = JobContext {
-            cfg: self.cfg,
+            cfg: self.cfg.clone(),
             cache: Arc::clone(&self.cache),
+            state: self.state.clone(),
             registry: Arc::clone(&self.registry),
             sink: Arc::clone(&sink),
             job,
@@ -205,6 +265,7 @@ impl Service {
 struct JobContext {
     cfg: ServiceConfig,
     cache: Arc<ResultCache>,
+    state: Option<Arc<StateDir>>,
     registry: Arc<Mutex<HashMap<u64, CancelToken>>>,
     sink: EventSink,
     job: u64,
@@ -216,23 +277,52 @@ struct JobContext {
     token: CancelToken,
 }
 
+/// Sweep units already in hand — recovered from a checkpoint file or
+/// computed by an earlier (panic-retried) attempt — keyed `(cell,
+/// seed)`. Units in here are never re-simulated.
+type RecoveredUnits = Mutex<HashMap<(u32, u64), Vec<SweepRow>>>;
+
 impl JobContext {
     /// The attempt loop: run, and on a panic retry with capped
     /// exponential backoff until `max_retries` is exhausted.
     fn run(self) {
         let max_attempts = self.cfg.max_retries + 1;
         let total_cycles = self.payload.total_cycles(&self.seeds);
+        let recovered: RecoveredUnits = Mutex::new(self.load_recovered_units());
+        // Commit ordinal within this job — the 1-based counter the
+        // crash/rot faults key off.
+        let committed = AtomicU32::new(0);
         let mut attempt = 1u32;
         loop {
             (self.sink)(JobEvent::Started { job: self.job, attempt });
-            match self.attempt_once(attempt, total_cycles) {
+            match self.attempt_once(attempt, total_cycles, &recovered, &committed) {
                 Ok(Ok(result)) => {
+                    if self.fault.crashes_mid_spill() {
+                        // Fault harness: die between the spill's
+                        // tempfile write and its rename — the result
+                        // was never promised, so a restart must treat
+                        // the key as absent and recompute it.
+                        if let Some(state) = &self.state {
+                            let digest =
+                                crate::protocol::digest_hex(result.as_bytes());
+                            let _ = state.spill_torn(
+                                &self.key,
+                                &crate::cache::CacheEntry { result, digest },
+                            );
+                        }
+                        std::process::abort();
+                    }
                     let digest = self.cache.insert(&self.key, result.clone());
                     if self.fault.corrupts_cache() {
                         // Fault harness: rot the entry *after* the clean
                         // result went out, so the next submission of
                         // this key exercises the digest check.
                         self.cache.corrupt(&self.key);
+                    }
+                    if let Some(state) = &self.state {
+                        // The spill file is now the durable state; the
+                        // checkpoint has served its purpose.
+                        state.remove_checkpoint(&self.key);
                     }
                     (self.sink)(JobEvent::Completed {
                         job: self.job,
@@ -288,12 +378,45 @@ impl JobContext {
         self.registry.lock().expect("registry lock").remove(&self.job);
     }
 
+    /// Load and validate this key's checkpoint (sweep payloads on a
+    /// state-backed service only), emitting a `recovered` event when
+    /// any verified units survive. Units referencing cells or seeds
+    /// outside the submitted grid are discarded — a checkpoint can
+    /// only ever *shrink* the work, never smuggle foreign rows in.
+    fn load_recovered_units(&self) -> HashMap<(u32, u64), Vec<SweepRow>> {
+        let Some(state) = &self.state else { return HashMap::new() };
+        if !matches!(self.payload, JobPayload::Sweep(_)) || !state.has_checkpoint(&self.key) {
+            return HashMap::new();
+        }
+        let total_units = self.payload.total_units(&self.seeds);
+        let n_cells = total_units / (self.seeds.len() as u64).max(1);
+        let load = state.load_checkpoint(&self.key);
+        let units: HashMap<(u32, u64), Vec<SweepRow>> = load
+            .units
+            .into_iter()
+            .filter(|((cell, seed), _)| {
+                u64::from(*cell) < n_cells && self.seeds.contains(seed)
+            })
+            .collect();
+        if !units.is_empty() {
+            (self.sink)(JobEvent::Recovered {
+                job: self.job,
+                key: self.key.clone(),
+                cells_done: units.len() as u64,
+                cells_total: total_units,
+            });
+        }
+        units
+    }
+
     /// One isolated attempt. The outer `Err` is a caught panic (its
     /// message), the inner result is the run's own outcome.
     fn attempt_once(
         &self,
         attempt: u32,
         total_cycles: u64,
+        recovered: &RecoveredUnits,
+        committed: &AtomicU32,
     ) -> Result<Result<String, ScenarioError>, String> {
         let deadline = self.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let panic_cycle = self.fault.panic_cycle(attempt);
@@ -324,10 +447,46 @@ impl JobContext {
             deadline,
             on_cycle: Some(&on_cycle),
         };
-        catch_unwind(AssertUnwindSafe(|| self.payload.execute(&self.seeds, &ctl)))
-            // `&*` reborrows the box's contents: `&payload` would unsize
-            // the `Box` itself into `dyn Any` and every downcast would miss.
-            .map_err(|payload| panic_message(&*payload))
+        // Sweep hooks: units in hand (checkpointed or computed by an
+        // earlier attempt) skip simulation; each freshly computed unit
+        // commits — map + checkpoint line under one lock, so the commit
+        // ordinal is stable and lines never interleave — then streams
+        // its rows and fires any commit-keyed fault.
+        let precomputed = |cell: u32, seed: u64| -> Option<Vec<SweepRow>> {
+            recovered.lock().expect("recovered units lock").get(&(cell, seed)).cloned()
+        };
+        let on_rows = |cell: u32, seed: u64, rows: &[SweepRow]| {
+            let ordinal = {
+                let mut units = recovered.lock().expect("recovered units lock");
+                units.insert((cell, seed), rows.to_vec());
+                let ordinal = committed.fetch_add(1, Ordering::AcqRel) + 1;
+                if let Some(state) = &self.state {
+                    let _ = state.append_checkpoint(&self.key, cell, seed, rows);
+                    if self.fault.rot_line() == Some(ordinal) {
+                        // Still under the lock: the rotted line must be
+                        // the one just appended, not a later worker's.
+                        state.rot_last_checkpoint_line(&self.key);
+                    }
+                }
+                ordinal
+            };
+            sink(JobEvent::SweepRows { job, cell, seed, rows: rows.to_vec() });
+            if self.fault.crash_after() == Some(ordinal) {
+                // The `kill -9` fault: die with at least `ordinal`
+                // committed checkpoint lines on disk.
+                std::process::abort();
+            }
+            if self.fault.cancel_after() == Some(ordinal) {
+                self.token.cancel();
+            }
+        };
+        let hooks = SweepHooks { precomputed: Some(&precomputed), on_rows: Some(&on_rows) };
+        catch_unwind(AssertUnwindSafe(|| {
+            self.payload.execute_hooked(&self.seeds, &ctl, &hooks)
+        }))
+        // `&*` reborrows the box's contents: `&payload` would unsize
+        // the `Box` itself into `dyn Any` and every downcast would miss.
+        .map_err(|payload| panic_message(&*payload))
     }
 }
 

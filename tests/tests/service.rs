@@ -17,15 +17,17 @@
 
 use df_service::{
     digest_hex, serve, EventSink, FaultSpec, JobEvent, JobPayload, Request, Service,
-    ServiceConfig, SubmitOptions,
+    ServiceConfig, StateDir, SubmitOptions,
 };
 use dragonfly_core::df_engine::ArbiterPolicy;
 use dragonfly_core::df_routing::MechanismSpec;
 use dragonfly_core::df_topology::{Arrangement, DragonflyParams};
 use dragonfly_core::df_traffic::PatternSpec;
-use dragonfly_core::df_workload::{InjectionSpec, JobSpec, PlacementSpec, ScenarioSpec};
+use dragonfly_core::df_workload::{InjectionSpec, JobSpec, PlacementSpec, ScenarioSpec, SweepSpec};
+use dragonfly_core::RunCtl;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -100,6 +102,45 @@ fn wait_started(events: &Arc<Mutex<Vec<JobEvent>>>, job: u64) {
 
 fn one_seed(fault: Option<FaultSpec>, deadline_ms: Option<u64>) -> SubmitOptions {
     SubmitOptions { seeds: Some(vec![1]), deadline_ms, fault }
+}
+
+/// A 2-mechanism × 2-load sweep over the tiny scenario: 4 `(cell,
+/// seed)` units under `one_seed`, small enough that a full run is
+/// sub-second but wide enough that a mid-sweep interruption leaves
+/// both finished and unfinished units behind.
+fn tiny_sweep(name: &str) -> SweepSpec {
+    SweepSpec {
+        name: name.into(),
+        base: tiny_scenario(name),
+        loads: Some(vec![0.2, 0.4]),
+        load_jobs: None,
+        placements: None,
+        patterns: None,
+        pattern_jobs: None,
+        mechanisms: Some(vec![MechanismSpec::Min, MechanismSpec::InTransitMm]),
+    }
+}
+
+/// A fresh per-test state directory (removed by the test on success).
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("df-state-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig { workers: 1, state_dir: Some(dir.to_path_buf()), ..ServiceConfig::default() }
+}
+
+fn count_rows(evs: &[JobEvent]) -> usize {
+    evs.iter().filter(|e| matches!(e, JobEvent::SweepRows { .. })).count()
+}
+
+fn recovered_of(evs: &[JobEvent]) -> Option<(u64, u64)> {
+    evs.iter().find_map(|e| match e {
+        JobEvent::Recovered { cells_done, cells_total, .. } => Some((*cells_done, *cells_total)),
+        _ => None,
+    })
 }
 
 #[test]
@@ -395,4 +436,179 @@ fn full_protocol_round_trips_over_the_unix_socket() {
     }
     server.join().unwrap().unwrap();
     let _ = std::fs::remove_file(&socket);
+}
+
+/// The tentpole end to end, in-process: a sweep interrupted after K
+/// unit commits (the cooperative stand-in for `kill -9`) resumes on a
+/// fresh Service over the same state dir, recomputes only the `N - K`
+/// unfinished units, and produces the byte-identical table an
+/// uninterrupted run would have — after which the result is cached
+/// and the checkpoint is gone.
+#[test]
+fn interrupted_sweep_resumes_from_its_checkpoint_byte_identically() {
+    let dir = state_dir("resume");
+    let payload = JobPayload::Sweep(tiny_sweep("svc-resume"));
+    let uninterrupted = payload.execute(&[1], &RunCtl::NONE).unwrap();
+
+    let svc = Service::open(durable_config(&dir)).unwrap();
+    let (sink, events) = collecting_sink();
+    let fault = FaultSpec { cancel_after_cells: Some(2), ..FaultSpec::default() };
+    let job = svc.submit(payload.clone(), one_seed(Some(fault), None), Arc::clone(&sink));
+    let evs = wait_terminal(&events, job);
+    let k = count_rows(&evs);
+    svc.shutdown();
+
+    if evs.last().unwrap().label() == "completed" {
+        // Only reachable on a many-core box where every unit was
+        // already past its last cancellation check when the fault
+        // fired: nothing to resume, but the cache must still be warm.
+        assert_eq!(k, 4, "a completed sweep streamed every unit");
+    } else {
+        assert_eq!(evs.last().unwrap().label(), "cancelled");
+        assert!((2..4).contains(&k), "cancel_after_cells=2 commits 2..4 of 4 units, got {k}");
+
+        // "Restart": a fresh Service over the same state dir.
+        let svc2 = Service::open(durable_config(&dir)).unwrap();
+        let (sink2, events2) = collecting_sink();
+        let job2 = svc2.submit(payload.clone(), one_seed(None, None), Arc::clone(&sink2));
+        let evs2 = wait_terminal(&events2, job2);
+        assert_eq!(
+            recovered_of(&evs2),
+            Some((k as u64, 4)),
+            "every committed unit must be recovered, none invented"
+        );
+        assert_eq!(count_rows(&evs2), 4 - k, "only unfinished units recompute");
+        let (key, result) = match evs2.last().unwrap() {
+            JobEvent::Completed { key, result, .. } => (key.clone(), result.clone()),
+            other => panic!("expected completed, got {other:?}"),
+        };
+        assert_eq!(result, uninterrupted, "recovered table must be byte-identical");
+
+        // The completed result consumed its checkpoint and entered the
+        // durable cache: a resubmission is a pure replay.
+        let state = StateDir::open(&dir).unwrap();
+        assert!(!state.has_checkpoint(&key), "completion must remove the checkpoint");
+        let job3 = svc2.submit(payload, one_seed(None, None), sink2);
+        let evs3 = wait_terminal(&events2, job3);
+        match evs3.last().unwrap() {
+            JobEvent::Cached { result: replay, .. } => assert_eq!(*replay, uninterrupted),
+            other => panic!("expected cached, got {other:?}"),
+        }
+        svc2.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A rotted checkpoint line is dropped at recovery — its unit
+/// recomputes along with the unfinished ones — and the final table is
+/// still byte-identical.
+#[test]
+fn rotted_checkpoint_line_is_dropped_and_recomputed() {
+    let dir = state_dir("rotline");
+    let payload = JobPayload::Sweep(tiny_sweep("svc-rotline"));
+    let uninterrupted = payload.execute(&[1], &RunCtl::NONE).unwrap();
+
+    let svc = Service::open(durable_config(&dir)).unwrap();
+    let (sink, events) = collecting_sink();
+    let fault = FaultSpec {
+        cancel_after_cells: Some(3),
+        rot_checkpoint_line: Some(2),
+        ..FaultSpec::default()
+    };
+    let job = svc.submit(payload.clone(), one_seed(Some(fault), None), Arc::clone(&sink));
+    let evs = wait_terminal(&events, job);
+    let k = count_rows(&evs);
+    svc.shutdown();
+
+    if evs.last().unwrap().label() == "cancelled" {
+        assert!((3..4).contains(&k), "cancel_after_cells=3 commits 3..4 of 4 units, got {k}");
+        let svc2 = Service::open(durable_config(&dir)).unwrap();
+        let (sink2, events2) = collecting_sink();
+        let job2 = svc2.submit(payload, one_seed(None, None), sink2);
+        let evs2 = wait_terminal(&events2, job2);
+        // One committed line was rotted, so exactly k-1 units survive
+        // the digest check and k-1 fewer units recompute.
+        assert_eq!(recovered_of(&evs2), Some((k as u64 - 1, 4)));
+        assert_eq!(count_rows(&evs2), 4 - (k - 1));
+        match evs2.last().unwrap() {
+            JobEvent::Completed { result, .. } => assert_eq!(*result, uninterrupted),
+            other => panic!("expected completed, got {other:?}"),
+        }
+        svc2.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Completed results survive a service restart: the spill reloads
+/// (digest-verified) and a resubmission replays `cached`,
+/// byte-identical — while a rotted spill is quarantined at startup
+/// and surfaces as a `cache_corrupt` startup event, then recomputes.
+#[test]
+fn durable_cache_replays_across_restart_and_quarantines_rot() {
+    let dir = state_dir("replay");
+    let svc = Service::open(durable_config(&dir)).unwrap();
+    let (sink, events) = collecting_sink();
+    let job = svc.submit(
+        JobPayload::Scenario(tiny_scenario("svc-durable")),
+        one_seed(None, None),
+        Arc::clone(&sink),
+    );
+    let evs = wait_terminal(&events, job);
+    let (digest1, result1) = match evs.last().unwrap() {
+        JobEvent::Completed { digest, result, .. } => (digest.clone(), result.clone()),
+        other => panic!("expected completed, got {other:?}"),
+    };
+    svc.shutdown();
+
+    // Restart 1: the spill reloads and the resubmission never runs.
+    let svc2 = Service::open(durable_config(&dir)).unwrap();
+    assert_eq!(svc2.startup_report().entries.len(), 1);
+    assert!(svc2.startup_events().is_empty());
+    let (sink2, events2) = collecting_sink();
+    let job2 = svc2.submit(
+        JobPayload::Scenario(tiny_scenario("svc-durable")),
+        one_seed(None, None),
+        Arc::clone(&sink2),
+    );
+    let evs2 = wait_terminal(&events2, job2);
+    match evs2.last().unwrap() {
+        JobEvent::Cached { digest, result, .. } => {
+            assert_eq!(*digest, digest1);
+            assert_eq!(*result, result1, "replay across restart must be byte-identical");
+        }
+        other => panic!("expected cached, got {other:?}"),
+    }
+    // Set up restart 2: a fresh spec computed with the corrupt_cache
+    // fault rots its own entry both in memory and on disk.
+    let rot = FaultSpec { corrupt_cache: Some(true), ..FaultSpec::default() };
+    let job3 = svc2.submit(
+        JobPayload::Scenario(tiny_scenario("svc-durable-rot")),
+        one_seed(Some(rot), None),
+        sink2,
+    );
+    assert_eq!(wait_terminal(&events2, job3).last().unwrap().label(), "completed");
+    svc2.shutdown();
+
+    // Restart 2: the rotted spill is quarantined, not loaded; the
+    // clean one still replays.
+    let svc3 = Service::open(durable_config(&dir)).unwrap();
+    assert_eq!(svc3.startup_report().entries.len(), 1);
+    assert_eq!(svc3.startup_report().quarantined.len(), 1);
+    let startup = svc3.startup_events();
+    assert_eq!(startup.len(), 1);
+    assert_eq!(startup[0].label(), "cache_corrupt");
+    let (sink3, events3) = collecting_sink();
+    let job4 = svc3.submit(
+        JobPayload::Scenario(tiny_scenario("svc-durable-rot")),
+        one_seed(None, None),
+        sink3,
+    );
+    let evs4 = wait_terminal(&events3, job4);
+    assert_eq!(
+        evs4.last().unwrap().label(),
+        "completed",
+        "the quarantined key recomputes instead of serving bad bytes"
+    );
+    svc3.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
