@@ -15,12 +15,25 @@ echo "==> cargo test -q"
 # and the cache-equivalence proptests (tests/tests/route_cache.rs).
 cargo test -q
 
-echo "==> release-mode shadow verification (route cache, --features shadow-verify)"
+echo "==> sharded tier-1 suite (DF_TEST_SHARDS=2)"
+# Every spec literal and bundled file in the tree leaves `shards` unset,
+# so this env var reroutes the ENTIRE suite — golden digests included —
+# through the group-sharded engine. Passing here means the sharded engine
+# reproduces every serial expectation byte-for-byte (the shard-count
+# invariance contract, docs/DETERMINISM.md); there are no sharded goldens
+# to re-record, by design. On mismatch the shard-invariance proptests
+# drop the offending result pairs in target/shard-diagnostics/, which
+# the workflow archives.
+DF_TEST_SHARDS=2 cargo test -q
+
+echo "==> release-mode shadow verification (route cache + sharding, --features shadow-verify)"
 # Release builds drop debug assertions, so the recompute-and-compare check
 # on every reused routing decision is re-enabled explicitly and exercised
-# under the optimized scheduling it is meant to guard.
+# under the optimized scheduling it is meant to guard. The sharding suite
+# rides along for its cross-shard queue coherence audit (per-cycle
+# work-list full-scan mirror), which is also shadow-verify-gated.
 cargo test -q --release -p integration-tests --features shadow-verify \
-    --test route_cache --test golden_outputs
+    --test route_cache --test golden_outputs --test sharding
 
 echo "==> cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -42,6 +55,24 @@ cargo run --release -p df-bench --bin scenario -- --quick \
 cargo run --release -p df-bench --bin timeline_check -- \
     bench-results/timeline_interference.jsonl
 
+echo "==> shard-count invariance smoke (--shards 2 vs serial, byte-compare)"
+# Same spec, same seed, different engine: the sharded CLI run must print
+# byte-identical output. The beyond-paper h=7 machine (p=7, a=14 — 99
+# groups, 9,702 nodes, one step past the paper's largest evaluation)
+# runs the same gate end-to-end under the sharded engine.
+shard_dir="$(mktemp -d)"
+cargo run --release -p df-bench --bin scenario -- --quick \
+    scenarios/interference_advc_vs_uniform.json > "$shard_dir/serial.out"
+cargo run --release -p df-bench --bin scenario -- --quick --shards 2 \
+    scenarios/interference_advc_vs_uniform.json > "$shard_dir/sharded.out"
+cmp "$shard_dir/serial.out" "$shard_dir/sharded.out"
+cargo run --release -p df-bench --bin scenario -- --quick \
+    scenarios/beyond_paper_h7.json > "$shard_dir/h7-serial.out"
+cargo run --release -p df-bench --bin scenario -- --quick --shards 2 \
+    scenarios/beyond_paper_h7.json > "$shard_dir/h7-sharded.out"
+cmp "$shard_dir/h7-serial.out" "$shard_dir/h7-sharded.out"
+rm -rf "$shard_dir"
+
 echo "==> sweep smoke run + determinism gate (bundled grid, twice, bit-compare)"
 # The long-format table must be bit-identical across same-seed runs
 # regardless of how cells were scheduled across threads. The first run's
@@ -58,6 +89,14 @@ cargo run --release -p df-bench --bin sweep -- --quick \
     scenarios/sweep_unfairness_grid.json > /dev/null
 cmp bench-results/sweep_unfairness_grid.csv "$sweep_rerun/table.csv"
 cmp bench-results/sweep_unfairness_grid.json "$sweep_rerun/table.json"
+# Sharded leg of the same gate: `--shards 2` threads through the base
+# spec into every expanded cell, and both artifacts must still match the
+# serial run byte-for-byte (the in-tree golden digests pin the same).
+cargo run --release -p df-bench --bin sweep -- --quick --shards 2 \
+    --csv "$sweep_rerun/sharded.csv" --out "$sweep_rerun/sharded.json" \
+    scenarios/sweep_unfairness_grid.json > /dev/null
+cmp bench-results/sweep_unfairness_grid.csv "$sweep_rerun/sharded.csv"
+cmp bench-results/sweep_unfairness_grid.json "$sweep_rerun/sharded.json"
 
 echo "==> service smoke (df-serve: cache replay + admission control + drain)"
 # Boot the job server with a deliberately tiny admission window, submit

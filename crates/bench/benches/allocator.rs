@@ -19,7 +19,8 @@ fn hotspot_network(
     let params = DragonflyParams::small();
     let topo = Topology::new(params, Arrangement::Palmtree);
     let cfg = EngineConfig::paper(arbiter, 3);
-    let policy = MechanismSpec::Min.build(topo.clone(), &cfg, 5);
+    let policy: Box<dyn df_engine::RoutingPolicy> =
+        MechanismSpec::Min.build(topo.clone(), &cfg, 5);
     let mut net = Network::new(topo, cfg, policy, NullSink);
     let per_group = params.a * params.p;
     for round in 0..40u32 {
@@ -44,7 +45,8 @@ fn saturated_advc_network() -> (
     let params = DragonflyParams::small();
     let topo = Topology::new(params, Arrangement::Palmtree);
     let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
-    let policy = MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
+    let policy: Box<dyn df_engine::RoutingPolicy> =
+        MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
     let mut net = Network::new(topo, cfg, policy, NullSink);
     let mut pattern = AdvConsecutive::new(params, 11);
     for round in 0..2_000u32 {

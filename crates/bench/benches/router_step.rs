@@ -2,7 +2,7 @@
 //! (the simulator's inner loop).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use df_engine::{ArbiterPolicy, EngineConfig, Network, NullSink};
+use df_engine::{ArbiterPolicy, EngineConfig, Network, NullSink, ShardedNetwork};
 use df_routing::MechanismSpec;
 use df_topology::{Arrangement, DragonflyParams, NodeId, Topology};
 
@@ -12,8 +12,28 @@ fn loaded_network(
 ) -> Network<Box<dyn df_engine::RoutingPolicy>, NullSink> {
     let topo = Topology::new(params, Arrangement::Palmtree);
     let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
-    let policy = MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
+    let policy: Box<dyn df_engine::RoutingPolicy> =
+        MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
     let mut net = Network::new(topo, cfg, policy, NullSink);
+    for round in 0..load_rounds {
+        for n in 0..params.nodes() {
+            let dst = (n + round * 37 + params.a * params.p) % params.nodes();
+            net.offer(NodeId(n), NodeId(dst));
+        }
+        net.step();
+    }
+    net
+}
+
+fn loaded_sharded_network(
+    params: DragonflyParams,
+    shards: u32,
+    load_rounds: u32,
+) -> ShardedNetwork<Box<dyn df_engine::RoutingPolicy + Send>, NullSink> {
+    let topo = Topology::new(params, Arrangement::Palmtree);
+    let cfg = EngineConfig::paper(ArbiterPolicy::TransitPriority, 3);
+    let policy = MechanismSpec::InTransitMm.build(topo.clone(), &cfg, 5);
+    let mut net = ShardedNetwork::new(topo, cfg, policy, NullSink, shards);
     for round in 0..load_rounds {
         for n in 0..params.nodes() {
             let dst = (n + round * 37 + params.a * params.p) % params.nodes();
@@ -54,6 +74,22 @@ fn bench_step(c: &mut Criterion) {
     c.bench_function("engine/cycle_loaded_5256_nodes", |b| {
         let paper = DragonflyParams::paper();
         let mut net = loaded_network(paper, 5);
+        b.iter(|| {
+            for n in (0..paper.nodes()).step_by(17) {
+                net.offer(NodeId(n), NodeId((n + 433) % paper.nodes()));
+            }
+            net.step()
+        })
+    });
+
+    c.bench_function("engine/router_step_sharded_5256", |b| {
+        // Two shards on one CPU: this prices the group-slicing and
+        // cycle-barrier overhead against engine/cycle_loaded_5256_nodes,
+        // not parallel speed-up (CI has a single core). bench_trend's
+        // 1 µs noise floor keeps the delta reported but non-gating when
+        // the barrier cost sits in scheduler-jitter territory.
+        let paper = DragonflyParams::paper();
+        let mut net = loaded_sharded_network(paper, 2, 5);
         b.iter(|| {
             for n in (0..paper.nodes()).step_by(17) {
                 net.offer(NodeId(n), NodeId((n + 433) % paper.nodes()));

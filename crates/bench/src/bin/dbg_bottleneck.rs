@@ -4,7 +4,7 @@
 //! inject / allocate / transmit) to direct hot-path optimization work.
 //!
 //! ```text
-//! dbg_bottleneck [crg|rrg|mm] [--live] [--json PATH]
+//! dbg_bottleneck [crg|rrg|mm] [--live] [--json PATH] [--shards N]
 //! ```
 //!
 //! * positional mechanism — `crg`, `rrg`, or the default `mm`,
@@ -13,7 +13,11 @@
 //!   5-window delivered rate from a `RateWindow`), so starvation onset
 //!   and the allocate-phase hotspot are visible while they happen,
 //! * `--json PATH` — archive the per-chunk phase breakdowns and the run
-//!   total as JSON next to the bench artifacts.
+//!   total as JSON next to the bench artifacts,
+//! * `--shards N` — run on the group-sharded engine with `N` shards; the
+//!   phase breakdown then includes the cycle-barrier merge (folded into
+//!   the transmit phase) and the congestion trace is bit-identical to
+//!   the serial engine's.
 
 use df_bench::{fail, write_json};
 use dragonfly_core::df_engine::{PhaseProfile, RouterState, TelemetrySpec};
@@ -34,7 +38,7 @@ struct PhaseReport {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: dbg_bottleneck [crg|rrg|mm] [--live] [--json PATH]");
+    eprintln!("usage: dbg_bottleneck [crg|rrg|mm] [--live] [--json PATH] [--shards N]");
     std::process::exit(2);
 }
 
@@ -42,6 +46,7 @@ fn main() {
     let mut mech = MechanismSpec::InTransitMm;
     let mut live = false;
     let mut json: Option<PathBuf> = None;
+    let mut shards: Option<u32> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,6 +58,14 @@ fn main() {
                 json = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| die("--json needs a path")),
                 ));
+            }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--shards needs a positive number")),
+                );
             }
             other => die(&format!("unknown argument {other}")),
         }
@@ -66,6 +79,9 @@ fn main() {
     const WINDOW: u64 = 1_000;
     if live {
         cfg.telemetry = Some(TelemetrySpec { window_cycles: WINDOW, ..TelemetrySpec::default() });
+    }
+    if shards.is_some() {
+        cfg.shards = shards;
     }
     let mut sim = Simulator::new(&cfg);
     let params = cfg.params;
@@ -125,7 +141,7 @@ fn main() {
             let vcs = match kind_in { PortKind::Injection => 3, PortKind::Local => 3, PortKind::Global => 2 };
             for v in 0..vcs {
                 if let Some(id) = r.head(Port(q), v) {
-                    let pk = net.packet(id);
+                    let pk = net.packet_at(RouterId(bottleneck as u32), id);
                     if let Some(d) = pk.decision {
                         let kout = params.port_kind(d.out_port);
                         match (kind_in, kout) {

@@ -16,7 +16,11 @@
 //!   the first mechanism × first seed as a replayable JSON trace,
 //! * `--timeline PATH` — additionally run every mechanism × the first
 //!   seed with windowed telemetry on, streaming one JSONL row per window
-//!   into `PATH` as it closes (see `docs/OBSERVABILITY.md`).
+//!   into `PATH` as it closes (see `docs/OBSERVABILITY.md`),
+//! * `--shards N` — run each cell on the group-sharded engine with `N`
+//!   shards (clamped to the group count). Output is bit-identical to the
+//!   serial engine for any `N` (see `docs/DETERMINISM.md`); overrides the
+//!   spec's `shards` field and `DF_TEST_SHARDS`.
 //!
 //! The seed-averaged summary is always printed to stdout as JSON (after
 //! the human-readable tables), so downstream tooling can consume the run
@@ -33,13 +37,14 @@ struct Args {
     out: Option<PathBuf>,
     record_trace: Option<String>,
     timeline: Option<PathBuf>,
+    shards: Option<u32>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: scenario [--seeds N] [--quick] [--out PATH] [--record-trace PATH] \
-         [--timeline PATH] SCENARIO.json"
+         [--timeline PATH] [--shards N] SCENARIO.json"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,7 @@ fn parse_args() -> Args {
         out: None,
         record_trace: None,
         timeline: None,
+        shards: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +85,14 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--timeline needs a path")),
                 ));
             }
+            "--shards" => {
+                args.shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--shards needs a positive number")),
+                );
+            }
             other if !other.starts_with('-') && args.scenario.is_empty() => {
                 args.scenario = other.to_string();
             }
@@ -103,6 +117,9 @@ fn main() {
     if args.quick {
         spec.warmup_cycles = spec.warmup_cycles.min(2_000);
         spec.measure_cycles = spec.measure_cycles.min(4_000);
+    }
+    if args.shards.is_some() {
+        spec.shards = args.shards;
     }
     spec.validate(args.seeds[0]).unwrap_or_else(|e| die(&e));
 

@@ -16,7 +16,10 @@
 //! * `--csv PATH` — write the table as CSV,
 //! * `--timeline PATH` — additionally re-run the first cell under the
 //!   first seed with windowed telemetry on, streaming one JSONL row per
-//!   window into `PATH` (see `docs/OBSERVABILITY.md`).
+//!   window into `PATH` (see `docs/OBSERVABILITY.md`),
+//! * `--shards N` — run every cell on the group-sharded engine with `N`
+//!   shards (clamped to the group count). The table is bit-identical to
+//!   the serial engine's for any `N` (see `docs/DETERMINISM.md`).
 //!
 //! The table is deterministic: the same sweep file and seed set produce a
 //! bit-identical JSON/CSV artifact regardless of how cells were scheduled
@@ -34,13 +37,14 @@ struct Args {
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
     timeline: Option<PathBuf>,
+    shards: Option<u32>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: sweep [--seeds N] [--quick] [--out PATH] [--csv PATH] [--timeline PATH] \
-         SWEEP.json"
+         [--shards N] SWEEP.json"
     );
     std::process::exit(2);
 }
@@ -53,6 +57,7 @@ fn parse_args() -> Args {
         out: None,
         csv: None,
         timeline: None,
+        shards: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +84,14 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--timeline needs a path")),
                 ));
             }
+            "--shards" => {
+                args.shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--shards needs a positive number")),
+                );
+            }
             other if !other.starts_with('-') && args.sweep.is_empty() => {
                 args.sweep = other.to_string();
             }
@@ -100,6 +113,10 @@ fn main() {
     if args.quick {
         spec.base.warmup_cycles = spec.base.warmup_cycles.min(1_000);
         spec.base.measure_cycles = spec.base.measure_cycles.min(2_000);
+    }
+    if args.shards.is_some() {
+        // Cells inherit the base spec, so one assignment shards the grid.
+        spec.base.shards = args.shards;
     }
     let cells = spec.expand().unwrap_or_else(|e| die(&e));
     eprintln!(

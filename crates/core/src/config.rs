@@ -33,6 +33,13 @@ pub struct SimConfig {
     /// default, and what an omitted JSON field deserializes to — keeps
     /// the run instrumentation-free.
     pub telemetry: Option<TelemetrySpec>,
+    /// Group-shard count for parallel execution (clamped to the group
+    /// count; `None` or an omitted JSON field defers to the
+    /// `DF_TEST_SHARDS` environment variable, then to 1 — the serial
+    /// engine). Same-seed output is bit-identical for every value, so
+    /// this is a purely operational knob and never enters result-cache
+    /// keys.
+    pub shards: Option<u32>,
 }
 
 impl SimConfig {
@@ -55,6 +62,7 @@ impl SimConfig {
             measure_cycles: 15_000,
             seed: 1,
             telemetry: None,
+            shards: None,
         }
     }
 
@@ -77,6 +85,7 @@ impl SimConfig {
             measure_cycles: 15_000,
             seed: 1,
             telemetry: None,
+            shards: None,
         }
     }
 
@@ -87,6 +96,21 @@ impl SimConfig {
         EngineConfig {
             telemetry: self.telemetry,
             ..EngineConfig::paper(self.arbiter, self.mechanism.required_local_vcs())
+        }
+    }
+
+    /// The effective shard count before topology clamping: the explicit
+    /// `shards` field if set, else the `DF_TEST_SHARDS` environment
+    /// variable (how CI re-runs the whole suite sharded), else 1.
+    /// Always at least 1. The simulator additionally clamps to the
+    /// topology's group count.
+    pub fn resolved_shards(&self) -> u32 {
+        match self.shards {
+            Some(n) => n.max(1),
+            None => std::env::var("DF_TEST_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .map_or(1, |n| n.max(1)),
         }
     }
 
@@ -167,6 +191,20 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, derive_seed(1, 0));
+    }
+
+    #[test]
+    fn resolved_shards_clamps_and_defaults() {
+        let mut c = cfg();
+        assert_eq!(c.shards, None);
+        c.shards = Some(0);
+        assert_eq!(c.resolved_shards(), 1, "explicit zero clamps to serial");
+        c.shards = Some(5);
+        assert_eq!(c.resolved_shards(), 5);
+        // `None` falls through to DF_TEST_SHARDS (exercised by ci.sh's
+        // sharded tier-1 leg), then to 1; either way it is at least 1.
+        c.shards = None;
+        assert!(c.resolved_shards() >= 1);
     }
 
     #[test]

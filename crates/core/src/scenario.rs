@@ -234,6 +234,7 @@ fn drive_scenario(
         measure_cycles: spec.measure_cycles,
         seed,
         telemetry,
+        shards: spec.shards,
     };
     // Surface config problems as errors, not the `Simulator::new` panic:
     // the job service must reject a bad submission and keep serving.
@@ -404,6 +405,7 @@ mod tests {
             warmup_cycles: 1_000,
             measure_cycles: 2_000,
             telemetry: None,
+            shards: None,
             jobs: vec![
                 JobSpec {
                     name: "anatomy".into(),

@@ -37,6 +37,18 @@ impl JobAccumulator {
             delivered_phits: 0,
         }
     }
+
+    /// Merge another accumulator covering a disjoint slice of the same
+    /// job's deliveries (partitioned or sharded aggregation). Histograms
+    /// merge bucket-wise — the derived quantiles are overflow-clamped and
+    /// therefore not themselves mergeable — so the result equals
+    /// accumulating the union stream directly.
+    pub fn merge(&mut self, other: &Self) {
+        self.latency.merge(&other.latency);
+        self.histogram.merge(&other.histogram);
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_phits += other.delivered_phits;
+    }
 }
 
 /// Aggregating sink. Inactive during warm-up; activated at the start of
@@ -316,5 +328,49 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_job_map_rejected() {
         MeasurementSink::with_jobs(vec![5], 2);
+    }
+
+    /// Sharded-merge regression: merging two accumulators fed disjoint
+    /// halves of a delivery stream must equal one accumulator fed the
+    /// whole stream — specifically for the overflow-clamped quantiles,
+    /// where merging per-half *summaries* instead of buckets would give
+    /// a different (wrong) answer.
+    #[test]
+    fn merging_accumulators_equals_accumulating_the_union_stream() {
+        let mut a = MeasurementSink::with_jobs(vec![0], 1);
+        let mut b = MeasurementSink::with_jobs(vec![0], 1);
+        let mut whole = MeasurementSink::with_jobs(vec![0], 1);
+        a.start_measurement();
+        b.start_measurement();
+        whole.start_measurement();
+        // Half a: moderate latencies. Half b: a heavy tail beyond the
+        // 10,000-cycle histogram range (overflow bucket).
+        for i in 0..60u64 {
+            let r = rec_from(0, (100 + i * 10, 0, 0, 0, 0));
+            a.on_delivered(&r);
+            whole.on_delivered(&r);
+        }
+        for i in 0..40u64 {
+            let r = rec_from(0, (20_000 + i * 100, 0, 0, 0, 0));
+            b.on_delivered(&r);
+            whole.on_delivered(&r);
+        }
+        let mut merged = a.jobs()[0].clone();
+        merged.merge(&b.jobs()[0]);
+        let direct = &whole.jobs()[0];
+        assert_eq!(merged.delivered_packets, direct.delivered_packets);
+        assert_eq!(merged.delivered_phits, direct.delivered_phits);
+        assert_eq!(merged.latency.count(), direct.latency.count());
+        assert!((merged.latency.mean_latency() - direct.latency.mean_latency()).abs() < 1e-9);
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(merged.histogram.quantile(q), direct.histogram.quantile(q), "q={q}");
+        }
+        // The half-b summary alone is clamped to the range cap — proof
+        // that summaries are not mergeable where buckets are.
+        assert_eq!(b.jobs()[0].histogram.quantile(0.5), Some(10_000));
+        assert_ne!(
+            b.jobs()[0].histogram.quantile(0.5),
+            direct.histogram.quantile(0.5)
+        );
     }
 }

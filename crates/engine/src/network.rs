@@ -28,9 +28,11 @@ use crate::packet::{DeliveredRecord, Packet, PacketSeq, RouteDep};
 use crate::packet::Decision;
 use crate::policy::{CycleCtx, RoutingPolicy, StatsSink};
 use crate::router::RouterState;
-use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, Topology};
+use crate::shard::{RemoteCredit, RemoteFlit, ShardOutbox};
+use df_topology::{NodeId, Port, PortKind, PortLayout, PortTarget, RouterId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::time::Instant;
 
 // ----------------------------------------------------------------------
@@ -150,11 +152,31 @@ pub struct Counters {
 }
 
 impl Counters {
-    fn new(routers: usize, nodes: usize) -> Self {
+    pub(crate) fn new(routers: usize, nodes: usize) -> Self {
         Self {
             injected_per_router: vec![0; routers],
             injected_per_node: vec![0; nodes],
             ..Self::default()
+        }
+    }
+
+    /// Fold one shard's counters into this network-wide view. Scalar
+    /// counters sum; the per-router / per-node vectors splice in at the
+    /// shard's base offsets (each shard owns a disjoint contiguous
+    /// slice). `cycles` is deliberately *not* summed — every shard steps
+    /// every cycle, so the caller copies it from any one shard.
+    pub(crate) fn merge_shard(&mut self, shard: &Counters, router_base: usize, node_base: usize) {
+        self.offered_packets += shard.offered_packets;
+        self.accepted_packets += shard.accepted_packets;
+        self.delivered_packets += shard.delivered_packets;
+        self.delivered_phits += shard.delivered_phits;
+        self.escape_grants += shard.escape_grants;
+        self.global_phits += shard.global_phits;
+        for (i, v) in shard.injected_per_router.iter().enumerate() {
+            self.injected_per_router[router_base + i] = *v;
+        }
+        for (i, v) in shard.injected_per_node.iter().enumerate() {
+            self.injected_per_node[node_base + i] = *v;
         }
     }
 
@@ -214,7 +236,18 @@ impl ProposalList {
     }
 }
 
-/// A full network simulation instance.
+/// A full network simulation instance — or, in sharded mode, one
+/// shard's contiguous slice of it.
+///
+/// A serial network owns every router and node (`router_base == 0`). A
+/// shard built by `Network::new_shard` owns only the routers and nodes
+/// of its group range: `routers[0]` is global router `router_base`, and
+/// every per-router/per-node array (work lists, counters, wiring cache)
+/// is indexed by the *local* offset. Events and wiring targets always
+/// carry **global** ids; the boundary between the two spaces is the
+/// `local_router` / `local_node` helpers. Traffic towards routers the
+/// slice does not own is diverted into the crate-private `ShardOutbox`
+/// and delivered by the sharded controller at the cycle barrier.
 pub struct Network<P: RoutingPolicy, S: StatsSink> {
     topo: Topology,
     cfg: EngineConfig,
@@ -222,10 +255,21 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
     nodes: Vec<NodeState>,
     wheel: EventWheel,
     cycle: u64,
+    /// Global id of `routers[0]` (0 for a serial network).
+    router_base: u32,
+    /// Global id of `nodes[0]` (0 for a serial network; always
+    /// `router_base * p` so local node index `r·p + slot` stays valid).
+    node_base: u32,
+    /// Cross-shard traffic staged for the controller's cycle barrier.
+    /// Always empty in serial mode (a serial network owns every router).
+    outbox: ShardOutbox,
     /// Slab storing every in-flight packet.
     arena: PacketArena,
     next_packet_seq: PacketSeq,
-    policy: P,
+    /// The routing policy. `None` only for shard slices, whose policy is
+    /// owned by the sharded controller and threaded through the
+    /// `*_with` phase variants (serial entry points take/restore it).
+    policy: Option<P>,
     sink: S,
     counters: Counters,
     /// Packets accepted but not yet delivered.
@@ -273,19 +317,50 @@ pub struct Network<P: RoutingPolicy, S: StatsSink> {
 }
 
 impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
-    /// Build an idle network.
+    /// Build an idle network owning the whole topology.
     ///
     /// # Panics
     /// Panics if `cfg` fails validation.
     pub fn new(topo: Topology, cfg: EngineConfig, policy: P, sink: S) -> Self {
+        let routers = 0..topo.params().routers();
+        let nodes = 0..topo.params().nodes();
+        Self::new_slice(topo, cfg, Some(policy), sink, routers, nodes)
+    }
+
+    /// Build a shard slice owning only `router_range` / `node_range`
+    /// (contiguous, group-aligned). The policy stays with the sharded
+    /// controller, which threads it through the `*_with` phase variants.
+    pub(crate) fn new_shard(
+        topo: Topology,
+        cfg: EngineConfig,
+        sink: S,
+        router_range: Range<u32>,
+        node_range: Range<u32>,
+    ) -> Self {
+        Self::new_slice(topo, cfg, None, sink, router_range, node_range)
+    }
+
+    fn new_slice(
+        topo: Topology,
+        cfg: EngineConfig,
+        policy: Option<P>,
+        sink: S,
+        router_range: Range<u32>,
+        node_range: Range<u32>,
+    ) -> Self {
         cfg.validate().expect("invalid engine config");
         let params = *topo.params();
         let radix = params.radix();
-        let routers: Vec<RouterState> = topo
-            .routers()
-            .map(|r| RouterState::new(r, &params, &cfg))
+        // Group-aligned slices keep the local `router·p + slot` node
+        // indexing of the fairness counters valid.
+        debug_assert_eq!(node_range.start, router_range.start * params.p);
+        debug_assert_eq!(node_range.end, router_range.end * params.p);
+        let routers: Vec<RouterState> = router_range
+            .clone()
+            .map(|r| RouterState::new(RouterId(r), &params, &cfg))
             .collect();
-        let nodes: Vec<NodeState> = (0..params.nodes())
+        let nodes: Vec<NodeState> = node_range
+            .clone()
             .map(|_| NodeState {
                 queue: VecDeque::new(),
                 credits: vec![cfg.injection_input_buffer; cfg.vcs_injection as usize],
@@ -293,12 +368,12 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 link_free_at: 0,
             })
             .collect();
-        let mut peers = Vec::with_capacity((params.routers() * radix) as usize);
+        let mut peers = Vec::with_capacity(routers.len() * radix as usize);
         let mut latencies = Vec::with_capacity(peers.capacity());
-        for r in topo.routers() {
+        for r in router_range.clone() {
             for q in 0..radix {
                 let port = Port(q);
-                peers.push(topo.port_target(r, port));
+                peers.push(topo.port_target(RouterId(r), port));
                 latencies.push(match params.port_kind(port) {
                     PortKind::Injection => cfg.injection_link_latency,
                     PortKind::Local => cfg.local_link_latency,
@@ -317,6 +392,9 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             nodes,
             wheel,
             cycle: 0,
+            router_base: router_range.start,
+            node_base: node_range.start,
+            outbox: ShardOutbox::default(),
             arena: PacketArena::new(),
             next_packet_seq: 0,
             policy,
@@ -397,9 +475,33 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     }
 
     /// The routing policy.
+    ///
+    /// # Panics
+    /// Panics on a shard slice, whose policy lives with the controller.
     #[inline]
     pub fn policy(&self) -> &P {
-        &self.policy
+        self.policy.as_ref().expect("policy detached (shard slice)")
+    }
+
+    /// Local index of a (globally identified) owned router.
+    #[inline]
+    fn local_router(&self, r: RouterId) -> usize {
+        debug_assert!(self.owns_router(r), "router {} not owned by this slice", r.0);
+        (r.0 - self.router_base) as usize
+    }
+
+    /// Local index of a (globally identified) owned node.
+    #[inline]
+    fn local_node(&self, n: NodeId) -> usize {
+        let local = n.0.wrapping_sub(self.node_base) as usize;
+        debug_assert!(local < self.nodes.len(), "node {} not owned by this slice", n.0);
+        local
+    }
+
+    /// Whether this slice owns `r` (always true for a serial network).
+    #[inline]
+    fn owns_router(&self, r: RouterId) -> bool {
+        (r.0.wrapping_sub(self.router_base) as usize) < self.routers.len()
     }
 
     /// Packets accepted but not yet delivered.
@@ -436,8 +538,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
 
     /// Read access to a router's state (congestion probes, diagnostics).
     #[inline]
-    pub fn router(&self, id: df_topology::RouterId) -> &RouterState {
-        &self.routers[id.idx()]
+    pub fn router(&self, id: RouterId) -> &RouterState {
+        &self.routers[self.local_router(id)]
     }
 
     /// Zero the measurement counters (start of the measurement window).
@@ -469,12 +571,26 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     /// `false` (and drops it) if the source queue is full — the offer is
     /// still counted as offered load.
     pub fn offer(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let seq = self.next_packet_seq;
+        if self.offer_with_seq(src, dst, seq) {
+            self.next_packet_seq += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// [`Self::offer`] with an externally supplied packet sequence
+    /// number. The sharded controller owns the global sequence counter
+    /// (so packet ids match the serial engine byte-for-byte) and advances
+    /// it only when the offer is accepted — exactly the serial contract,
+    /// where a full source queue consumes no sequence number.
+    pub(crate) fn offer_with_seq(&mut self, src: NodeId, dst: NodeId, seq: PacketSeq) -> bool {
         self.counters.offered_packets += 1;
-        if self.nodes[src.idx()].queue.len() >= self.cfg.max_node_queue {
+        let n = self.local_node(src);
+        if self.nodes[n].queue.len() >= self.cfg.max_node_queue {
             return false;
         }
-        let seq = self.next_packet_seq;
-        self.next_packet_seq += 1;
         let group = src.group(self.topo.params());
         // The earliest the node can act on this packet is the next cycle,
         // so that is its generation timestamp.
@@ -482,8 +598,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         let id = self
             .arena
             .insert(Packet::new(seq, src, dst, self.cfg.packet_size, gen, group));
-        self.nodes[src.idx()].queue.push_back(id);
-        set_bit(&mut self.node_active, src.idx());
+        self.nodes[n].queue.push_back(id);
+        set_bit(&mut self.node_active, n);
         self.counters.accepted_packets += 1;
         self.live_packets += 1;
         true
@@ -491,32 +607,36 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
 
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
+        let mut policy = self.policy.take().expect("policy detached (shard slice)");
         self.cycle += 1;
         self.counters.cycles += 1;
         self.deliver_events();
-        self.run_policy_begin();
+        self.run_policy_begin_with(&mut policy);
         self.inject_from_nodes();
-        self.allocate_all();
+        self.allocate_all_with(&mut policy);
         self.transmit_all();
+        self.policy = Some(policy);
     }
 
     /// Advance one cycle like [`Self::step`], accumulating per-phase
     /// wall-clock time into `profile` (diagnostics; the untimed `step`
     /// pays no instrumentation cost).
     pub fn step_timed(&mut self, profile: &mut PhaseProfile) {
+        let mut policy = self.policy.take().expect("policy detached (shard slice)");
         self.cycle += 1;
         self.counters.cycles += 1;
         let t0 = Instant::now();
         self.deliver_events();
         let t1 = Instant::now();
-        self.run_policy_begin();
+        self.run_policy_begin_with(&mut policy);
         let t2 = Instant::now();
         self.inject_from_nodes();
         let t3 = Instant::now();
-        self.allocate_all();
+        self.allocate_all_with(&mut policy);
         let t4 = Instant::now();
         self.transmit_all();
         let t5 = Instant::now();
+        self.policy = Some(policy);
         profile.deliver_ns += (t1 - t0).as_nanos() as u64;
         profile.policy_ns += (t2 - t1).as_nanos() as u64;
         profile.inject_ns += (t3 - t2).as_nanos() as u64;
@@ -525,9 +645,86 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         profile.cycles += 1;
     }
 
+    // ------------------------------------------------------------------
+    // Shard-controller phase surface: one serial cycle is exactly
+    // `begin_cycle_bump; deliver; policy_begin; inject; allocate;
+    // transmit` — the controller runs the same phases across all shards
+    // in phase-major order, threading the single policy through the
+    // `*_with` variants during the sequential phases.
+    // ------------------------------------------------------------------
+
+    /// Advance the local cycle counter (start of a controller-driven cycle).
+    pub(crate) fn begin_cycle_bump(&mut self) {
+        self.cycle += 1;
+        self.counters.cycles += 1;
+    }
+
+    /// Event-delivery phase (shard-local state only).
+    pub(crate) fn phase_deliver(&mut self) {
+        self.deliver_events();
+    }
+
+    /// Injection phase (shard-local state only).
+    pub(crate) fn phase_inject(&mut self) {
+        self.inject_from_nodes();
+    }
+
+    /// Transmit phase (cross-shard flits land in the outbox).
+    pub(crate) fn phase_transmit(&mut self) {
+        self.transmit_all();
+    }
+
+    /// Take the staged cross-shard traffic (leaves the outbox empty).
+    pub(crate) fn take_outbox(&mut self) -> ShardOutbox {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Whether no cross-shard traffic is staged (always true between
+    /// barriers, and always true in serial mode).
+    pub(crate) fn outbox_is_empty(&self) -> bool {
+        self.outbox.is_empty()
+    }
+
+    /// Deliver a credit return that crossed the shard boundary. Called at
+    /// the cycle barrier, when the local wheel sits at the same cycle the
+    /// sender's did when it would have scheduled the event — so the delay
+    /// lands it in exactly the serial engine's slot.
+    pub(crate) fn accept_remote_credit(&mut self, c: RemoteCredit) {
+        debug_assert!(self.owns_router(c.router));
+        self.wheel.schedule(
+            c.delay,
+            Event::Credit { router: c.router, port: c.port, vc: c.vc, phits: c.phits },
+        );
+    }
+
+    /// Deliver a flit that crossed the shard boundary: re-home the packet
+    /// into the local arena and schedule its arrival. The arena insert
+    /// preserves everything behavior-visible (header with its global
+    /// sequence id, route state, waits, traversal, eligibility); only the
+    /// `PacketId` handle is shard-local, and handles never appear in
+    /// results.
+    pub(crate) fn accept_remote_flit(&mut self, f: RemoteFlit) {
+        debug_assert!(self.owns_router(f.router));
+        let id = self.arena.insert(f.packet);
+        self.live_packets += 1;
+        self.wheel.schedule(
+            f.delay,
+            Event::ArriveRouter { router: f.router, port: f.port, vc: f.vc, pkt: id, size: f.size },
+        );
+    }
+
+    /// Delivery cycle of the most recent grant in this slice.
+    pub(crate) fn last_progress(&self) -> u64 {
+        self.last_progress
+    }
+
     /// Run the policy's per-cycle hook and retire the dirty-router list.
-    fn run_policy_begin(&mut self) {
-        self.policy.begin_cycle(&CycleCtx {
+    /// The context's router slice and dirty indices are both local to
+    /// this slice; policies index their own tables by `RouterState::id`,
+    /// which stays global, so partitioned calls across shards are
+    /// equivalent to one whole-network call.
+    pub(crate) fn run_policy_begin_with(&mut self, policy: &mut P) {
+        policy.begin_cycle(&CycleCtx {
             routers: &self.routers,
             cycle: self.cycle,
             dirty_global: &self.global_dirty_list,
@@ -541,7 +738,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     /// Allocate phase over the active-router work list (ascending order —
     /// identical side-effect order to a full `0..routers` scan, which
     /// only no-ops on the skipped routers).
-    fn allocate_all(&mut self) {
+    pub(crate) fn allocate_all_with(&mut self, policy: &mut P) {
         for w in 0..self.alloc_active.len() {
             // Snapshot the word: `commit_grant` may clear the current
             // router's bit (never a later router's), and allocation
@@ -557,7 +754,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 if self.routers[r].probe_ready() == 0 {
                     continue;
                 }
-                self.allocate_router(r);
+                self.allocate_router(r, policy);
             }
         }
     }
@@ -626,7 +823,8 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                             None => (0, 0),
                         };
                         eprintln!(
-                            "r{r} in(port={q},vc={v},kind={:?}) pkt{} src={} dst={} lh={} gh={} phase={:?} dec={:?} out_free={free} out_cred={cred}",
+                            "r{} in(port={q},vc={v},kind={:?}) pkt{} src={} dst={} lh={} gh={} phase={:?} dec={:?} out_free={free} out_cred={cred}",
+                            self.router_base as usize + r,
                             params.port_kind(Port(q as u32)),
                             p.header.id, p.header.src.0, p.header.dst.0,
                             p.route.local_hops, p.route.global_hops, p.route.phase,
@@ -704,7 +902,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                     // Hot lanes only: arrival never touches the cold slot.
                     self.arena.set_eligible_at(pkt, self.cycle + self.cfg.pipeline_latency);
                     self.arena.clear_decision(pkt);
-                    let r = router.idx();
+                    let r = self.local_router(router);
                     let becomes_head =
                         self.routers[r].inputs[port.idx()][vc as usize].is_empty();
                     self.routers[r].push_input(port.idx(), vc as usize, pkt, size);
@@ -724,18 +922,21 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                     self.complete_delivery(node, pkt);
                 }
                 Event::Credit { router, port, vc, phits } => {
-                    self.routers[router.idx()].return_credit(port.idx(), vc as usize, phits);
+                    let r = self.local_router(router);
+                    self.routers[r].return_credit(port.idx(), vc as usize, phits);
                     if self.topo.params().port_kind(port) == PortKind::Global {
-                        self.mark_global_dirty(router.idx());
+                        self.mark_global_dirty(r);
                     }
                 }
                 Event::NodeCredit { node, vc, phits } => {
-                    let c = &mut self.nodes[node.idx()].credits[vc as usize];
+                    let n = self.local_node(node);
+                    let c = &mut self.nodes[n].credits[vc as usize];
                     *c += phits;
                     debug_assert!(*c <= self.cfg.injection_input_buffer);
                 }
                 Event::HeadWake { router, port, vc } => {
-                    self.routers[router.idx()].wake(port.idx(), vc as usize);
+                    let r = self.local_router(router);
+                    self.routers[r].wake(port.idx(), vc as usize);
                 }
             }
         }
@@ -809,7 +1010,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 let pkt = self.arena.cold_mut(id);
                 pkt.waits.injection += wait;
                 pkt.traversal += self.cfg.injection_link_latency;
-                let node_id = NodeId(n as u32);
+                let node_id = NodeId(self.node_base + n as u32);
                 let router = node_id.router(&params);
                 let port = params.injection_port(node_id.slot(&params));
                 self.wheel.schedule(
@@ -820,13 +1021,13 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         }
     }
 
-    /// Separable iterative batch allocation for router `r`.
-    fn allocate_router(&mut self, r: usize) {
+    /// Separable iterative batch allocation for router `r` (local index).
+    fn allocate_router(&mut self, r: usize, policy: &mut P) {
         // The work list only holds routers with resident input packets.
         debug_assert!(self.routers[r].input_count > 0, "idle router on alloc work list");
         let params = *self.topo.params();
         let radix = params.radix() as usize;
-        let adaptive = self.policy.adaptive_reroute();
+        let adaptive = policy.adaptive_reroute();
         // Reset the persistent scratch (hoisted out of the hot loop so no
         // per-router-per-cycle allocation happens): remaining grant budget
         // per port this cycle (2× speedup), and the VCs that already won
@@ -891,14 +1092,14 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                         Some(d) => {
                             #[cfg(any(debug_assertions, feature = "shadow-verify"))]
                             if adaptive {
-                                self.shadow_verify_reuse(r, in_port, vc, id, d);
+                                self.shadow_verify_reuse(r, in_port, vc, id, d, policy);
                             }
                             d
                         }
                         None => {
                             let cold = self.arena.cold(id);
                             let (hdr, info) = (cold.header, cold.route);
-                            let (d, dep) = self.policy.route_with_deps(
+                            let (d, dep) = policy.route_with_deps(
                                 &self.routers[r],
                                 Port(in_port as u32),
                                 hdr,
@@ -1091,7 +1292,10 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
             self.mark_global_dirty(r);
         }
 
-        // Return credit upstream for the input space just freed.
+        // Return credit upstream for the input space just freed. An
+        // upstream router outside this slice gets its credit through the
+        // outbox (cross-shard interception point #1); only global-link
+        // ports can cross a group — and therefore shard — boundary.
         let flat = r * params.radix() as usize + in_port;
         let latency = self.latencies[flat];
         match self.peers[flat] {
@@ -1102,10 +1306,20 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 );
             }
             PortTarget::Router { router, port } => {
-                self.wheel.schedule(
-                    latency,
-                    Event::Credit { router, port, vc: vc as u8, phits: size },
-                );
+                if self.owns_router(router) {
+                    self.wheel.schedule(
+                        latency,
+                        Event::Credit { router, port, vc: vc as u8, phits: size },
+                    );
+                } else {
+                    self.outbox.credits.push(RemoteCredit {
+                        router,
+                        port,
+                        vc: vc as u8,
+                        phits: size,
+                        delay: latency,
+                    });
+                }
             }
         }
 
@@ -1160,16 +1374,35 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                 }
                 PortTarget::Router { router, port } => {
                     self.arena.cold_mut(staged.pkt).traversal += latency;
-                    self.wheel.schedule(
-                        latency,
-                        Event::ArriveRouter {
+                    if self.owns_router(router) {
+                        self.wheel.schedule(
+                            latency,
+                            Event::ArriveRouter {
+                                router,
+                                port,
+                                vc: staged.out_vc,
+                                pkt: staged.pkt,
+                                size,
+                            },
+                        );
+                    } else {
+                        // Cross-shard interception point #2: the packet
+                        // leaves this slice's arena and travels to the
+                        // owner as a value; the controller re-homes it at
+                        // the cycle barrier. Traversal was already
+                        // charged above, exactly as for a local hop.
+                        let packet = self.arena.snapshot(staged.pkt);
+                        self.arena.free(staged.pkt);
+                        self.live_packets -= 1;
+                        self.outbox.flits.push(RemoteFlit {
                             router,
                             port,
                             vc: staged.out_vc,
-                            pkt: staged.pkt,
                             size,
-                        },
-                    );
+                            delay: latency,
+                            packet,
+                        });
+                    }
                 }
             }
         }
@@ -1211,11 +1444,12 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
         vc: usize,
         id: PacketId,
         cached: Decision,
+        policy: &mut P,
     ) {
         let cold = self.arena.cold(id);
         let (hdr, info) = (cold.header, cold.route);
         let (fresh, fresh_dep) =
-            self.policy.route_with_deps(&self.routers[r], Port(in_port as u32), hdr, info);
+            policy.route_with_deps(&self.routers[r], Port(in_port as u32), hdr, info);
         assert_eq!(
             cached, fresh,
             "route cache divergence: reused decision != fresh recompute at \
@@ -1249,7 +1483,15 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
     ///   non-volatile and currently valid, and a pure recompute agrees
     ///   with the cached decision.
     pub fn assert_route_cache_coherent(&mut self) {
-        let adaptive = self.policy.adaptive_reroute();
+        let mut policy = self.policy.take().expect("policy detached (shard slice)");
+        self.assert_route_cache_coherent_with(&mut policy);
+        self.policy = Some(policy);
+    }
+
+    /// [`Self::assert_route_cache_coherent`] with the policy supplied by
+    /// the sharded controller.
+    pub(crate) fn assert_route_cache_coherent_with(&mut self, policy: &mut P) {
+        let adaptive = policy.adaptive_reroute();
         let radix = self.topo.params().radix() as usize;
         for r in 0..self.routers.len() {
             let mut expect_ready = 0u32;
@@ -1344,7 +1586,7 @@ impl<P: RoutingPolicy, S: StatsSink> Network<P, S> {
                             self.cycle
                         );
                         #[cfg(any(debug_assertions, feature = "shadow-verify"))]
-                        self.shadow_verify_reuse(r, in_port, vc, id, d);
+                        self.shadow_verify_reuse(r, in_port, vc, id, d, policy);
                     }
                 }
             }

@@ -177,7 +177,7 @@ impl Packet {
 }
 
 /// Everything known about a packet at delivery; consumed by stats sinks.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeliveredRecord {
     /// Identity and endpoints.
     pub header: PacketHeader,

@@ -71,7 +71,12 @@ impl MechanismSpec {
     /// # Panics
     /// Panics if `cfg.vcs_local` is below
     /// [`MechanismSpec::required_local_vcs`].
-    pub fn build(&self, topo: Topology, cfg: &EngineConfig, seed: u64) -> Box<dyn RoutingPolicy> {
+    pub fn build(
+        &self,
+        topo: Topology,
+        cfg: &EngineConfig,
+        seed: u64,
+    ) -> Box<dyn RoutingPolicy + Send> {
         assert!(
             cfg.vcs_local >= self.required_local_vcs(),
             "{} needs {} local VCs, config provides {}",

@@ -28,10 +28,12 @@
 mod arrangement;
 mod ids;
 mod params;
+mod shard;
 #[allow(clippy::module_inception)]
 mod topology;
 
 pub use arrangement::Arrangement;
 pub use ids::{GroupId, NodeId, Port, PortKind, PortLayout, RouterId};
 pub use params::DragonflyParams;
+pub use shard::ShardPlan;
 pub use topology::{PortTarget, Topology};

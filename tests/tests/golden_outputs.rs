@@ -10,6 +10,12 @@
 //! JSON artifacts), not the human-readable tables. Re-record a digest
 //! only for an intentional behavior change, and say so in the commit
 //! message (see `docs/DETERMINISM.md`).
+//!
+//! Every digest is asserted twice: once on the serial engine and once at
+//! `shards: 2` on the group-sharded engine. The shard-count-invariance
+//! contract (`docs/DETERMINISM.md`) says they are the same bytes, so the
+//! sharded legs pin the SAME MD5s — no new goldens exist for sharded
+//! runs, by design.
 
 use dragonfly_core::prelude::*;
 use integration_tests::md5_hex;
@@ -20,29 +26,45 @@ fn scenarios_dir() -> std::path::PathBuf {
 
 /// Replicate the `scenario --quick` protocol: single seed, warm-up capped
 /// at 2000 cycles, measurement at 4000. Digest of the seed-averaged
-/// summary JSON (what the CLI prints to stdout for tooling).
-fn scenario_quick_digest(file: &str) -> String {
+/// summary JSON (what the CLI prints to stdout for tooling). `shards`
+/// mirrors the CLI's `--shards` override (`None` = the spec's own
+/// setting, i.e. serial for the bundled files).
+fn scenario_quick_digest_sharded(file: &str, shards: Option<u32>) -> String {
     let path = scenarios_dir().join(file);
     let mut spec = ScenarioSpec::load(path.to_str().unwrap()).expect("load scenario");
     spec.warmup_cycles = spec.warmup_cycles.min(2_000);
     spec.measure_cycles = spec.measure_cycles.min(4_000);
+    if shards.is_some() {
+        spec.shards = shards;
+    }
     let result = run_scenario(&spec, &[DEFAULT_SEEDS[0]]).expect("run scenario");
     let json = serde_json::to_string_pretty(&result.summary()).expect("serialize summary");
     md5_hex(json.as_bytes())
 }
 
+fn scenario_quick_digest(file: &str) -> String {
+    scenario_quick_digest_sharded(file, None)
+}
+
 /// Replicate the `sweep --quick` protocol: single seed, warm-up capped at
 /// 1000 cycles, measurement at 2000. Returns digests of the CSV and JSON
 /// artifacts (the pair ci.sh double-runs and byte-compares).
-fn sweep_quick_digests(file: &str) -> (String, String) {
+fn sweep_quick_digests_sharded(file: &str, shards: Option<u32>) -> (String, String) {
     let path = scenarios_dir().join(file);
     let mut spec = SweepSpec::load(path.to_str().unwrap()).expect("load sweep");
     spec.base.warmup_cycles = spec.base.warmup_cycles.min(1_000);
     spec.base.measure_cycles = spec.base.measure_cycles.min(2_000);
+    if shards.is_some() {
+        spec.base.shards = shards;
+    }
     let table = run_sweep(&spec, &[DEFAULT_SEEDS[0]]).expect("run sweep");
     let csv = md5_hex(table.to_csv().as_bytes());
     let json_text = serde_json::to_string_pretty(&table).expect("serialize table");
     (csv, md5_hex(json_text.as_bytes()))
+}
+
+fn sweep_quick_digests(file: &str) -> (String, String) {
+    sweep_quick_digests_sharded(file, None)
 }
 
 #[test]
@@ -73,5 +95,40 @@ fn golden_sweep_unfairness_grid() {
     assert_eq!(
         json, "d7d9743204a4108a0e46c87d28c444a3",
         "behavior drift in the sweep grid JSON (see docs/DETERMINISM.md)"
+    );
+}
+
+#[test]
+fn golden_interference_advc_vs_uniform_sharded() {
+    assert_eq!(
+        scenario_quick_digest_sharded("interference_advc_vs_uniform.json", Some(2)),
+        "0e6ffb3aa0cf2e890cbe948633eedefa",
+        "sharded run must reproduce the serial golden digest byte-for-byte \
+         (shard-count invariance, docs/DETERMINISM.md)"
+    );
+}
+
+#[test]
+fn golden_paper_job_anatomy_sharded() {
+    assert_eq!(
+        scenario_quick_digest_sharded("paper_job_anatomy.json", Some(2)),
+        "bf12a27f9d94ef4ce3cfdb41aed39283",
+        "sharded run must reproduce the serial golden digest byte-for-byte \
+         (shard-count invariance, docs/DETERMINISM.md)"
+    );
+}
+
+#[test]
+fn golden_sweep_unfairness_grid_sharded() {
+    let (csv, json) = sweep_quick_digests_sharded("sweep_unfairness_grid.json", Some(2));
+    assert_eq!(
+        csv, "df045dadf249fc449c1ccc7b3ce548f8",
+        "sharded sweep CSV must reproduce the serial golden digest \
+         (shard-count invariance, docs/DETERMINISM.md)"
+    );
+    assert_eq!(
+        json, "d7d9743204a4108a0e46c87d28c444a3",
+        "sharded sweep JSON must reproduce the serial golden digest \
+         (shard-count invariance, docs/DETERMINISM.md)"
     );
 }

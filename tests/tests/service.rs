@@ -42,6 +42,7 @@ fn tiny_scenario(name: &str) -> ScenarioSpec {
         warmup_cycles: 100,
         measure_cycles: 200,
         telemetry: None,
+        shards: None,
         jobs: vec![
             JobSpec {
                 name: "victim".into(),

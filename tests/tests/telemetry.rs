@@ -94,6 +94,7 @@ fn churn_spec() -> ScenarioSpec {
             job("late", 0, 3, Some(650), Some(900)),
             job("steady", 4, 2, None, None),
         ],
+        shards: None,
     }
 }
 

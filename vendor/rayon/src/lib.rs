@@ -18,6 +18,7 @@
 /// The traits to import, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 /// Types that can produce a parallel iterator over `&Item`.
@@ -121,6 +122,82 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Types that can produce a parallel iterator over `&mut Item`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type iterated by mutable reference.
+    type Item: 'a;
+    /// A parallel iterator over the collection's elements, mutably.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A mutable borrowed parallel iterator (slice-backed).
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element — in parallel when more than one core
+    /// and more than one element are available.
+    ///
+    /// Uses the same atomic work-claiming scheme as [`ParMap::collect`]:
+    /// each worker claims the next unprocessed index, so shards with
+    /// uneven per-cycle load (e.g. a hotspot group) never leave a core
+    /// idle while work remains. Each element is visited exactly once by
+    /// exactly one worker.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            for item in self.items.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+
+        // One slot per element, holding its exclusive reference. Exactly
+        // one worker ever claims an index, so the locks are uncontended;
+        // they exist only to make the cross-thread handoff safe.
+        let slots: Vec<Mutex<&mut T>> = self.items.iter_mut().map(Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut guard = slots[i].lock().expect("element slot poisoned");
+                    f(&mut *guard);
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -156,6 +233,35 @@ mod tests {
             })
             .collect();
         assert_eq!(out, (0..32).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_element_once() {
+        let mut items: Vec<u64> = (0..257).collect();
+        items.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(items, (1..258).collect::<Vec<u64>>());
+        // Empty and single-element inputs take the sequential path.
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        let mut one = [41u64];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn par_iter_mut_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let mut items: Vec<u32> = (0..64).collect();
+        items.par_iter_mut().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if cores > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "expected parallel execution");
+        }
     }
 
     #[test]
